@@ -1,0 +1,43 @@
+//! Criterion bench for the ablation frontier — the cost side of the
+//! quality-vs-time trade-off between the exact, near-optimal and
+//! heuristic matchers (quality numbers come from
+//! `react-experiments ablation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use react_matching::{
+    AuctionMatcher, BipartiteGraph, GreedyMatcher, HungarianMatcher, Matcher, ReactMatcher,
+};
+use std::hint::black_box;
+
+fn bench_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_frontier");
+    group.sample_size(10);
+    for &side in &[50usize, 150] {
+        let mut w_rng = SmallRng::seed_from_u64(7);
+        let graph = BipartiteGraph::full(side, side, |_, _| w_rng.gen::<f64>()).expect("valid");
+        let matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+            ("hungarian", Box::new(HungarianMatcher)),
+            ("auction", Box::new(AuctionMatcher::default())),
+            ("greedy", Box::new(GreedyMatcher)),
+            ("react-1000", Box::new(ReactMatcher::with_cycles(1000))),
+            (
+                "react-adaptive",
+                Box::new(ReactMatcher::adaptive(&graph, 0.2)),
+            ),
+        ];
+        for (name, matcher) in matchers {
+            group.bench_with_input(BenchmarkId::new(name, side), &graph, |b, g| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    black_box(matcher.assign(g, &mut rng))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontier);
+criterion_main!(benches);

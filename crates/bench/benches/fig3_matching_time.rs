@@ -1,0 +1,55 @@
+//! Criterion bench for Fig. 3 — wall-clock matching time of each WBGM
+//! algorithm on full bipartite graphs of growing size (this Rust
+//! implementation; the paper-calibrated *modelled* times are printed by
+//! `react-experiments fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use react_matching::{BipartiteGraph, GreedyMatcher, Matcher, MetropolisMatcher, ReactMatcher};
+use std::hint::black_box;
+
+fn full_graph(workers: usize, tasks: usize) -> BipartiteGraph {
+    let mut rng = SmallRng::seed_from_u64(42);
+    BipartiteGraph::full(workers, tasks, |_, _| rng.gen::<f64>()).expect("valid")
+}
+
+fn bench_matching_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_matching_time");
+    group.sample_size(10);
+    for &tasks in &[100usize, 400, 1000] {
+        let graph = full_graph(1000, tasks);
+        group.bench_with_input(BenchmarkId::new("greedy", tasks), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                black_box(GreedyMatcher.assign(g, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("react-1000", tasks), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                black_box(ReactMatcher::with_cycles(1000).assign(g, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("react-3000", tasks), &graph, |b, g| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                black_box(ReactMatcher::with_cycles(3000).assign(g, &mut rng))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("metropolis-1000", tasks),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    black_box(MetropolisMatcher::with_cycles(1000).assign(g, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching_time);
+criterion_main!(benches);

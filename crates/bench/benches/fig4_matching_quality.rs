@@ -1,0 +1,66 @@
+//! Criterion bench for Fig. 4 — cost of reaching a given matching
+//! quality. Before timing, prints the achieved weights so the quality
+//! ordering (Greedy ≈ optimal > REACT > Metropolis at equal cycles) can
+//! be read off alongside the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use react_matching::{BipartiteGraph, GreedyMatcher, Matcher, MetropolisMatcher, ReactMatcher};
+use std::hint::black_box;
+
+fn contended_graph(side: usize) -> BipartiteGraph {
+    let mut rng = SmallRng::seed_from_u64(7);
+    BipartiteGraph::full(side, side, |_, _| rng.gen::<f64>()).expect("valid")
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let side = 300;
+    let graph = contended_graph(side);
+    // One-off quality readout.
+    let mut rng = SmallRng::seed_from_u64(5);
+    println!("fig4 quality on {side}×{side} full graph:");
+    println!(
+        "  greedy          Σw = {:.2}",
+        GreedyMatcher.assign(&graph, &mut rng).total_weight
+    );
+    for cycles in [1000usize, 3000] {
+        println!(
+            "  react@{cycles:<6} Σw = {:.2}",
+            ReactMatcher::with_cycles(cycles)
+                .assign(&graph, &mut rng)
+                .total_weight
+        );
+        println!(
+            "  metropolis@{cycles:<6} Σw = {:.2}",
+            MetropolisMatcher::with_cycles(cycles)
+                .assign(&graph, &mut rng)
+                .total_weight
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_matching_quality");
+    group.sample_size(20);
+    for cycles in [1000usize, 3000] {
+        group.bench_with_input(BenchmarkId::new("react", cycles), &cycles, |b, &cycles| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                black_box(ReactMatcher::with_cycles(cycles).assign(&graph, &mut rng))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("metropolis", cycles),
+            &cycles,
+            |b, &cycles| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    black_box(MetropolisMatcher::with_cycles(cycles).assign(&graph, &mut rng))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

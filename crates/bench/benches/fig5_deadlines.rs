@@ -1,0 +1,32 @@
+//! Criterion bench for Figs. 5–8 — one end-to-end simulated run per
+//! policy at reduced scale (the full 750-worker/8371-task reproduction
+//! is `react-experiments fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use react_core::MatcherPolicy;
+use react_crowd::{Scenario, ScenarioRunner};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_end_to_end");
+    group.sample_size(10);
+    for (policy, name) in [
+        (MatcherPolicy::React { cycles: 1000 }, "react"),
+        (MatcherPolicy::Greedy, "greedy"),
+        (MatcherPolicy::Traditional, "traditional"),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut sc = Scenario::paper_fig5(policy, 42);
+                sc.n_workers = 150;
+                sc.total_tasks = 1000;
+                sc.arrival_rate = 1.875;
+                black_box(ScenarioRunner::new(sc).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

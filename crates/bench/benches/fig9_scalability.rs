@@ -1,0 +1,35 @@
+//! Criterion bench for Figs. 9–10 — simulation cost across the paper's
+//! scalability sweep endpoints (the full 5-point ratio sweep is
+//! `react-experiments fig9`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use react_core::MatcherPolicy;
+use react_crowd::{Scenario, ScenarioRunner};
+use std::hint::black_box;
+
+fn bench_sweep_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_scalability");
+    group.sample_size(10);
+    for &(workers, rate) in &[(100usize, 1.5f64), (500, 6.25)] {
+        for (policy, name) in [
+            (MatcherPolicy::React { cycles: 1000 }, "react"),
+            (MatcherPolicy::Traditional, "traditional"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, workers),
+                &(workers, rate, policy),
+                |b, &(workers, rate, policy)| {
+                    b.iter(|| {
+                        let mut sc = Scenario::paper_fig9(workers, rate, policy, 42);
+                        sc.total_tasks = sc.total_tasks.min(600);
+                        black_box(ScenarioRunner::new(sc).run())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_points);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the probability substrate — the per-tick cost of
+//! the Dynamic Assignment Component (Eq. 2 over every in-flight task)
+//! depends on these primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use react_prob::{DeadlineModel, DeadlineModelConfig, FitMethod, PowerLaw};
+use std::hint::black_box;
+
+fn bench_powerlaw(c: &mut Criterion) {
+    let truth = PowerLaw::new(2.3, 2.0).unwrap();
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("powerlaw");
+    for &n in &[10usize, 100, 1000] {
+        let samples = truth.sample_n(&mut rng, n);
+        group.bench_with_input(BenchmarkId::new("fit_paper", n), &samples, |b, s| {
+            b.iter(|| black_box(PowerLaw::fit(s, 2.0, FitMethod::Paper).unwrap()))
+        });
+    }
+    group.bench_function("sample", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| black_box(truth.sample(&mut rng)))
+    });
+    group.bench_function("ccdf", |b| {
+        b.iter(|| black_box(truth.ccdf(black_box(17.3))))
+    });
+    let model = DeadlineModel::new(DeadlineModelConfig::default());
+    group.bench_function("eq2_in_flight_check", |b| {
+        b.iter(|| black_box(model.check_in_flight(&truth, black_box(12.0), black_box(60.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_powerlaw);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! `react-experiments` — regenerate every figure of the REACT paper.
+//!
+//! ```text
+//! USAGE: react-experiments [COMMAND] [--quick] [--seed N] [--out DIR] [--no-csv]
+//!
+//! COMMANDS
+//!   fig3, fig4      matching time / matching weight micro-benchmarks
+//!   fig5 … fig8     end-to-end comparison (one run serves all four)
+//!   fig9, fig10     scalability sweep
+//!   case            CrowdFlower case-study statistics
+//!   ablation        all design-choice ablations
+//!   all             everything above (default)
+//!
+//! OPTIONS
+//!   --quick         reduced sizes (seconds instead of minutes)
+//!   --seed N        master RNG seed (default 42)
+//!   --out DIR       CSV output directory (default results/)
+//!   --no-csv        don't write CSVs
+//! ```
+//!
+//! Run with `--release`; the full suite at paper scale takes a few
+//! minutes, `--quick` a few seconds.
+
+use react_bench::{ablation, casestudy, endtoend, fig34, report::OutputSink, sweep};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Cli {
+    command: String,
+    quick: bool,
+    seed: u64,
+    sink: OutputSink,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut command: Option<String> = None;
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out: Option<String> = Some("results".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--no-csv" => out = None,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("invalid seed '{v}'"))?;
+            }
+            "--out" => {
+                let v = args.next().ok_or("--out needs a value")?;
+                out = Some(v);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Cli {
+        command: command.unwrap_or_else(|| "all".to_string()),
+        quick,
+        seed,
+        sink: out.map_or_else(OutputSink::discard, OutputSink::to_dir),
+    })
+}
+
+const USAGE: &str = "usage: react-experiments \
+[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|case|ablation|all] \
+[--quick] [--seed N] [--out DIR] [--no-csv]";
+
+fn run_fig34(cli: &Cli) {
+    let mut params = if cli.quick {
+        fig34::Fig34Params::quick()
+    } else {
+        fig34::Fig34Params::default()
+    };
+    params.seed = cli.seed;
+    println!("{}", fig34::report(&fig34::run(&params), &cli.sink));
+}
+
+fn run_endtoend(cli: &Cli) {
+    let mut params = if cli.quick {
+        endtoend::EndToEndParams::quick()
+    } else {
+        endtoend::EndToEndParams::default()
+    };
+    params.seed = cli.seed;
+    println!("{}", endtoend::report(&endtoend::run(&params), &cli.sink));
+}
+
+fn run_sweep(cli: &Cli) {
+    let mut params = if cli.quick {
+        sweep::SweepParams::quick()
+    } else {
+        sweep::SweepParams::default()
+    };
+    params.seed = cli.seed;
+    println!("{}", sweep::report(&sweep::run(&params), &cli.sink));
+}
+
+fn run_case(cli: &Cli) {
+    let n = if cli.quick { 5_000 } else { 50_000 };
+    println!(
+        "{}",
+        casestudy::report(&casestudy::run(n, cli.seed), &cli.sink)
+    );
+}
+
+fn run_ablation(cli: &Cli) {
+    let mut params = if cli.quick {
+        ablation::AblationParams::quick()
+    } else {
+        ablation::AblationParams::default()
+    };
+    params.seed = cli.seed;
+    println!("{}", ablation::conflict_rule(&params, &cli.sink));
+    println!("{}", ablation::adaptive_cycles(&params, &cli.sink));
+    println!("{}", ablation::edge_threshold(&params, &cli.sink));
+    ablation::reassign_threshold(&params, &cli.sink);
+    println!("{}", ablation::weight_function(&params, &cli.sink));
+    println!("{}", ablation::batch_trigger(&params, &cli.sink));
+    println!("{}", ablation::frontier(&params, &cli.sink));
+    println!("{}", ablation::region_decomposition(&params, &cli.sink));
+    println!("{}", ablation::latency_model(&params, &cli.sink));
+    println!("{}", ablation::model_kind(&params, &cli.sink));
+    println!("{}", ablation::replication(&params, &cli.sink));
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = cli.sink.dir() {
+        println!("# CSVs → {}/\n", dir.display());
+    }
+    match cli.command.as_str() {
+        "fig3" | "fig4" => run_fig34(&cli),
+        "fig5" | "fig6" | "fig7" | "fig8" => run_endtoend(&cli),
+        "fig9" | "fig10" => run_sweep(&cli),
+        "case" => run_case(&cli),
+        "ablation" => run_ablation(&cli),
+        "all" => {
+            run_fig34(&cli);
+            run_endtoend(&cli);
+            run_sweep(&cli);
+            run_case(&cli);
+            run_ablation(&cli);
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

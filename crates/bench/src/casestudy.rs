@@ -1,0 +1,81 @@
+//! The Sec. V-C CrowdFlower case study, regenerated from the synthetic
+//! trace.
+
+use crate::report::{num, OutputSink};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use react_crowd::{CaseStudySummary, CaseStudyTrace};
+use react_metrics::table::pct;
+use react_metrics::Table;
+
+/// Synthesizes a trace of `n` responses and summarizes it.
+pub fn run(n: usize, seed: u64) -> CaseStudySummary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    CaseStudyTrace::synthesize(n, &mut rng).summarize()
+}
+
+/// Prints the case-study table and archives the CSV.
+pub fn report(summary: &CaseStudySummary, sink: &OutputSink) -> String {
+    let mut t = Table::new(&["statistic", "paper", "synthetic trace"])
+        .with_title("CrowdFlower case study (Sec. V-C)");
+    t.add_row(vec![
+        "responses within 20 s".to_string(),
+        "≈ 50%".to_string(),
+        pct(summary.fraction_within_20s),
+    ]);
+    t.add_row(vec![
+        "workers with trust > 0.5".to_string(),
+        "≈ 70%".to_string(),
+        pct(summary.fraction_trust_above_half),
+    ]);
+    t.add_row(vec![
+        "median response".to_string(),
+        "≈ 20 s".to_string(),
+        format!("{:.1} s", summary.median_response),
+    ]);
+    t.add_row(vec![
+        "slowest response".to_string(),
+        "up to 6 h".to_string(),
+        format!("{:.2} h", summary.max_response / 3600.0),
+    ]);
+    let rows = vec![
+        vec![
+            "n_responses".to_string(),
+            "fraction_within_20s".to_string(),
+            "fraction_trust_above_half".to_string(),
+            "median_response_s".to_string(),
+            "max_response_s".to_string(),
+        ],
+        vec![
+            summary.n_responses.to_string(),
+            num(summary.fraction_within_20s),
+            num(summary.fraction_trust_above_half),
+            num(summary.median_response),
+            num(summary.max_response),
+        ],
+    ];
+    sink.write("case_study", &rows);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_paper_anchors() {
+        let s = run(20_000, 42);
+        assert!((s.fraction_within_20s - 0.5).abs() < 0.05);
+        assert!((s.fraction_trust_above_half - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run(5_000, 1);
+        let dir = std::env::temp_dir().join("react_case_test");
+        let text = report(&s, &OutputSink::to_dir(&dir));
+        assert!(text.contains("CrowdFlower"));
+        assert!(dir.join("case_study.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,272 @@
+//! Figures 5–8 — the end-to-end evaluation (Sec. V-C).
+//!
+//! One region server, 750 workers, tasks at 9.375/s (≈ 8371 total),
+//! deadlines 60–120 s, batches at > 10 unassigned tasks, comparing:
+//!
+//! * **REACT** (Algorithm 1 @ 1000 cycles + the probabilistic model),
+//! * **Greedy** (with the probabilistic model, as in the paper),
+//! * **Traditional** (AMT-style blind uniform assignment, no model).
+//!
+//! Paper anchors: REACT finishes 6091 / 8371 before the deadline vs
+//! 4264 for Traditional (Fig. 5); positive feedback 4941 vs 3066
+//! (Fig. 6); Greedy's cumulative curve rises for ≈ 4200 tasks and then
+//! degrades from matching-induced queueing; Traditional's worker
+//! execution times are the worst (Fig. 7) and REACT cuts total
+//! execution time by up to ≈ 45 % (Fig. 8).
+
+use crate::report::{num, OutputSink};
+use react_core::MatcherPolicy;
+use react_crowd::{RunReport, Scenario, ScenarioRunner};
+use react_metrics::table::pct;
+use react_metrics::{ascii_chart, ChartSeries, Table};
+
+/// The three policies of the paper's end-to-end comparison.
+pub fn paper_policies() -> [MatcherPolicy; 3] {
+    [
+        MatcherPolicy::React { cycles: 1000 },
+        MatcherPolicy::Greedy,
+        MatcherPolicy::Traditional,
+    ]
+}
+
+/// Parameters for the end-to-end comparison.
+#[derive(Debug, Clone)]
+pub struct EndToEndParams {
+    /// Worker count (paper: 750).
+    pub n_workers: usize,
+    /// Total tasks (paper: 8371).
+    pub total_tasks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EndToEndParams {
+    fn default() -> Self {
+        EndToEndParams {
+            n_workers: 750,
+            total_tasks: 8371,
+            seed: 42,
+        }
+    }
+}
+
+impl EndToEndParams {
+    /// Reduced setup for tests/CI.
+    pub fn quick() -> Self {
+        EndToEndParams {
+            n_workers: 80,
+            total_tasks: 400,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the three-policy comparison.
+pub fn run(params: &EndToEndParams) -> Vec<RunReport> {
+    paper_policies()
+        .into_iter()
+        .map(|policy| {
+            let mut sc = Scenario::paper_fig5(policy, params.seed);
+            sc.n_workers = params.n_workers;
+            sc.total_tasks = params.total_tasks;
+            // Keep the arrival rate proportional when scaled down so the
+            // load regime matches the paper's.
+            sc.arrival_rate *= params.n_workers as f64 / 750.0;
+            ScenarioRunner::new(sc).run()
+        })
+        .collect()
+}
+
+/// Prints the Figs. 5–8 tables and archives CSVs (summary + the two
+/// cumulative curves, thinned to ≤ 200 points each).
+pub fn report(reports: &[RunReport], sink: &OutputSink) -> String {
+    let mut summary = Table::new(&[
+        "policy",
+        "received",
+        "met deadline",
+        "met %",
+        "positive",
+        "positive %",
+        "reassigned",
+        "avg exec s (fig7)",
+        "avg total s (fig8)",
+        "match s",
+        "batches",
+    ])
+    .with_title("Figures 5-8 — end-to-end comparison");
+    for r in reports {
+        summary.add_row(vec![
+            r.matcher_name.to_string(),
+            r.received.to_string(),
+            r.met_deadline.to_string(),
+            pct(r.deadline_ratio()),
+            r.positive_feedback.to_string(),
+            pct(r.positive_ratio()),
+            r.reassignments.to_string(),
+            format!("{:.1}", r.avg_exec_time()),
+            format!("{:.1}", r.avg_total_time()),
+            format!("{:.0}", r.total_matching_seconds),
+            r.batches.to_string(),
+        ]);
+    }
+
+    // Summary CSV.
+    let mut rows = vec![vec![
+        "policy".to_string(),
+        "received".to_string(),
+        "met_deadline".to_string(),
+        "positive_feedback".to_string(),
+        "reassignments".to_string(),
+        "avg_exec_s".to_string(),
+        "avg_total_s".to_string(),
+        "matching_s".to_string(),
+        "batches".to_string(),
+    ]];
+    for r in reports {
+        rows.push(vec![
+            r.matcher_name.to_string(),
+            r.received.to_string(),
+            r.met_deadline.to_string(),
+            r.positive_feedback.to_string(),
+            r.reassignments.to_string(),
+            num(r.avg_exec_time()),
+            num(r.avg_total_time()),
+            num(r.total_matching_seconds),
+            r.batches.to_string(),
+        ]);
+    }
+    sink.write("fig5_8_summary", &rows);
+
+    // Curve CSVs (Figs. 5 and 6).
+    for (name, series_of) in [
+        ("fig5_deadline_curve", 0usize),
+        ("fig6_feedback_curve", 1usize),
+    ] {
+        let mut rows = vec![vec![
+            "policy".to_string(),
+            "received".to_string(),
+            "cumulative".to_string(),
+        ]];
+        for r in reports {
+            let series = if series_of == 0 {
+                &r.series_met
+            } else {
+                &r.series_positive
+            };
+            for (x, y) in series.thin(200) {
+                rows.push(vec![r.matcher_name.to_string(), num(x), num(y)]);
+            }
+        }
+        sink.write(name, &rows);
+    }
+
+    let mut out = summary.render();
+    // Terminal rendition of the Fig. 5 curves (thinned).
+    let thinned: Vec<(&str, Vec<(f64, f64)>)> = reports
+        .iter()
+        .map(|r| (r.matcher_name, r.series_met.thin(120)))
+        .collect();
+    let series: Vec<ChartSeries<'_>> = thinned
+        .iter()
+        .map(|(name, points)| ChartSeries { name, points })
+        .collect();
+    out.push('\n');
+    out.push_str(&ascii_chart(
+        "Figure 5 — cumulative tasks before deadline (y) vs tasks received (x)",
+        &series,
+        72,
+        18,
+    ));
+    // Headline comparisons the paper calls out in its abstract.
+    if let (Some(react), Some(trad)) = (
+        reports.iter().find(|r| r.matcher_name == "react"),
+        reports.iter().find(|r| r.matcher_name == "traditional"),
+    ) {
+        if trad.met_deadline > 0 {
+            out.push_str(&format!(
+                "\nREACT meets {} deadlines vs Traditional {} → {:.0}% more tasks in time \
+                 (paper: 6091 vs 4264, \"up to 61%\")\n",
+                react.met_deadline,
+                trad.met_deadline,
+                100.0 * (react.met_deadline as f64 / trad.met_deadline as f64 - 1.0)
+            ));
+        }
+        if trad.avg_total_time() > 0.0 {
+            out.push_str(&format!(
+                "REACT average total time {:.1}s vs Traditional {:.1}s → {:.0}% reduction \
+                 (paper: \"up to 45%\")\n",
+                react.avg_total_time(),
+                trad.avg_total_time(),
+                100.0 * (1.0 - react.avg_total_time() / trad.avg_total_time())
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_reports() -> Vec<RunReport> {
+        run(&EndToEndParams::quick())
+    }
+
+    #[test]
+    fn three_policies_run() {
+        let rs = quick_reports();
+        assert_eq!(rs.len(), 3);
+        let names: Vec<&str> = rs.iter().map(|r| r.matcher_name).collect();
+        assert_eq!(names, vec!["react", "greedy", "traditional"]);
+        for r in &rs {
+            assert_eq!(r.received, 400);
+            assert!(r.completed > 0);
+        }
+    }
+
+    #[test]
+    fn fig5_shape_react_beats_traditional() {
+        let rs = quick_reports();
+        let react = &rs[0];
+        let trad = &rs[2];
+        assert!(
+            react.met_deadline > trad.met_deadline,
+            "react {} vs traditional {}",
+            react.met_deadline,
+            trad.met_deadline
+        );
+    }
+
+    #[test]
+    fn fig6_shape_react_earns_more_positive_feedback() {
+        let rs = quick_reports();
+        assert!(rs[0].positive_feedback > rs[2].positive_feedback);
+    }
+
+    #[test]
+    fn fig7_fig8_shape_traditional_slowest() {
+        let rs = quick_reports();
+        let react = &rs[0];
+        let trad = &rs[2];
+        assert!(
+            trad.avg_exec_time() > react.avg_exec_time(),
+            "traditional exec {:.1} must exceed react {:.1}",
+            trad.avg_exec_time(),
+            react.avg_exec_time()
+        );
+        assert!(trad.avg_total_time() > react.avg_total_time());
+    }
+
+    #[test]
+    fn report_renders_and_archives() {
+        let rs = quick_reports();
+        let dir = std::env::temp_dir().join("react_e2e_test");
+        let text = report(&rs, &OutputSink::to_dir(&dir));
+        assert!(text.contains("Figures 5-8"));
+        assert!(text.contains("more tasks in time"));
+        assert!(dir.join("fig5_8_summary.csv").exists());
+        assert!(dir.join("fig5_deadline_curve.csv").exists());
+        assert!(dir.join("fig6_feedback_curve.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every evaluation figure of
+//! *"Crowdsourcing under Real-Time Constraints"*.
+//!
+//! Each module regenerates one part of the paper's evaluation (see the
+//! experiment index in `DESIGN.md`); the `react-experiments` binary
+//! drives them from the command line and archives CSVs under
+//! `results/`:
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`fig34`] | Fig. 3 (matching time) and Fig. 4 (matching weight) |
+//! | [`endtoend`] | Figs. 5–8 (deadline curve, feedback curve, execution times) |
+//! | [`sweep`] | Figs. 9–10 (scalability sweep) |
+//! | [`casestudy`] | the Sec. V-C CrowdFlower case-study statistics |
+//! | [`ablation`] | the design-choice ablations listed in `DESIGN.md` |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod casestudy;
+pub mod endtoend;
+pub mod fig34;
+pub mod report;
+pub mod sweep;

@@ -1,0 +1,83 @@
+//! Output helpers shared by the experiment modules.
+
+use react_metrics::csv::write_csv;
+use std::path::{Path, PathBuf};
+
+/// Where experiment CSVs land (`results/` under the workspace root, or
+/// the directory given on the CLI).
+#[derive(Debug, Clone)]
+pub struct OutputSink {
+    dir: Option<PathBuf>,
+}
+
+impl OutputSink {
+    /// A sink writing CSVs into `dir`.
+    pub fn to_dir(dir: impl Into<PathBuf>) -> Self {
+        OutputSink {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// A sink that discards CSVs (tables still print to stdout).
+    pub fn discard() -> Self {
+        OutputSink { dir: None }
+    }
+
+    /// The target directory, when writing is enabled.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Writes `rows` (header first) as `<dir>/<name>.csv`. Returns the
+    /// path when a write happened.
+    pub fn write(&self, name: &str, rows: &[Vec<String>]) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(format!("{name}.csv"));
+        match write_csv(&path, rows) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Formats a float for CSV cells (enough digits, no noise).
+pub fn num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discard_sink_writes_nothing() {
+        let sink = OutputSink::discard();
+        assert!(sink.dir().is_none());
+        assert!(sink.write("x", &[vec!["a".to_string()]]).is_none());
+    }
+
+    #[test]
+    fn dir_sink_writes_csv() {
+        let dir = std::env::temp_dir().join("react_bench_report_test");
+        let sink = OutputSink::to_dir(&dir);
+        let path = sink
+            .write("t", &[vec!["h".to_string()], vec!["1".to_string()]])
+            .unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "h\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(1.23456), "1.2346");
+        assert_eq!(num(-2.0), "-2");
+    }
+}

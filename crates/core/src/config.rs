@@ -1,0 +1,265 @@
+//! Middleware configuration.
+
+use crate::weight::WeightFunction;
+use react_matching::{
+    AuctionMatcher, GreedyMatcher, HopcroftKarpMatcher, HungarianMatcher, Matcher,
+    MetropolisMatcher, RandomMatcher, ReactMatcher,
+};
+use react_prob::{DeadlineModelConfig, EstimatorConfig};
+
+/// Which latency distribution the deadline model evaluates Eq. (2)/(3)
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModelKind {
+    /// The paper's power-law MLE fit.
+    PowerLaw,
+    /// The distribution-free empirical CCDF of the observed samples.
+    Empirical,
+    /// Power law when its KS statistic is at most the threshold,
+    /// empirical otherwise (per worker, re-evaluated as samples arrive).
+    Auto {
+        /// Maximum acceptable KS statistic for the parametric fit.
+        ks_threshold: f64,
+    },
+}
+
+/// Which matching algorithm the Scheduling Component runs per batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatcherPolicy {
+    /// The paper's Algorithm 1 with a fixed cycle budget.
+    React {
+        /// Flip cycles per batch (paper: 1000).
+        cycles: usize,
+    },
+    /// REACT with the adaptive cycle count `c = ⌈κ·|E|⌉` the paper
+    /// suggests as future work.
+    ReactAdaptive {
+        /// Cycles per edge.
+        kappa: f64,
+    },
+    /// The Metropolis baseline at a fixed cycle budget.
+    Metropolis {
+        /// Flip cycles per batch.
+        cycles: usize,
+    },
+    /// The `O(V·E)` greedy baseline.
+    Greedy,
+    /// AMT-style uniform random assignment (no profiling, no model).
+    Traditional,
+    /// Exact Hungarian optimum (offline reference).
+    Hungarian,
+    /// ε-auction extension.
+    Auction,
+    /// Maximum-cardinality extension (Hopcroft–Karp): assign as many
+    /// tasks as possible, ignoring weights — the "throughput-optimal"
+    /// objective of classical systems.
+    MaxCardinality,
+}
+
+impl MatcherPolicy {
+    /// Instantiates the matcher. `n_edges` lets the adaptive policy size
+    /// its cycle budget to the batch at hand.
+    pub fn build(&self, n_edges: usize) -> Box<dyn Matcher> {
+        match *self {
+            MatcherPolicy::React { cycles } => Box::new(ReactMatcher::with_cycles(cycles)),
+            MatcherPolicy::ReactAdaptive { kappa } => Box::new(ReactMatcher::with_cycles(
+                ((n_edges as f64 * kappa).ceil() as usize).max(1),
+            )),
+            MatcherPolicy::Metropolis { cycles } => {
+                Box::new(MetropolisMatcher::with_cycles(cycles))
+            }
+            MatcherPolicy::Greedy => Box::new(GreedyMatcher),
+            MatcherPolicy::Traditional => Box::new(RandomMatcher),
+            MatcherPolicy::Hungarian => Box::new(HungarianMatcher),
+            MatcherPolicy::Auction => Box::new(AuctionMatcher::default()),
+            MatcherPolicy::MaxCardinality => Box::new(HopcroftKarpMatcher),
+        }
+    }
+
+    /// Whether this policy uses the probabilistic deadline model
+    /// (edge pruning + in-flight reassignment). The paper pairs the
+    /// model with REACT *and* Greedy, but not with the Traditional
+    /// system.
+    pub fn uses_probabilistic_model(&self) -> bool {
+        !matches!(self, MatcherPolicy::Traditional)
+    }
+
+    /// Whether this policy assigns only to *available* workers.
+    ///
+    /// The Traditional comparator simulates AMT-style marketplaces,
+    /// which have no availability signal: a task lands on a uniformly
+    /// random worker who may already be busy and queues behind their
+    /// current work — the main reason the paper's traditional system
+    /// misses roughly half its deadlines.
+    pub fn uses_availability(&self) -> bool {
+        !matches!(self, MatcherPolicy::Traditional)
+    }
+
+    /// Stable name for reports (matches `Matcher::name`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MatcherPolicy::React { .. } => "react",
+            MatcherPolicy::ReactAdaptive { .. } => "react",
+            MatcherPolicy::Metropolis { .. } => "metropolis",
+            MatcherPolicy::Greedy => "greedy",
+            MatcherPolicy::Traditional => "traditional",
+            MatcherPolicy::Hungarian => "hungarian",
+            MatcherPolicy::Auction => "auction",
+            MatcherPolicy::MaxCardinality => "hopcroft-karp",
+        }
+    }
+}
+
+/// When the Scheduling Component starts a new batch. *"Our solution works
+/// in batches, which are initiated periodically, or if the number of
+/// unassigned tasks has exceeded a boundary."*
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTrigger {
+    /// Fire when at least this many tasks are unassigned (paper: > 10,
+    /// i.e. a threshold of 11; we expose the inclusive bound).
+    pub min_unassigned: usize,
+    /// Also fire when this many seconds elapsed since the last batch and
+    /// any task is waiting (`None` = threshold only, as in Fig. 5).
+    pub period: Option<f64>,
+}
+
+impl BatchTrigger {
+    /// Decides whether to fire given the current queue length and the
+    /// time since the last batch.
+    pub fn should_fire(&self, unassigned: usize, since_last_batch: f64) -> bool {
+        if unassigned == 0 {
+            return false;
+        }
+        if unassigned >= self.min_unassigned {
+            return true;
+        }
+        match self.period {
+            Some(p) => since_last_batch >= p,
+            None => false,
+        }
+    }
+}
+
+/// Full middleware configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Matching algorithm per batch.
+    pub matcher: MatcherPolicy,
+    /// Edge weight function `F(worker, task)`.
+    pub weight: WeightFunction,
+    /// Batch trigger policy.
+    pub batch: BatchTrigger,
+    /// Eq. (2)/(3) thresholds.
+    pub deadline: DeadlineModelConfig,
+    /// Per-worker execution-time estimator settings (min samples = the
+    /// paper's "at least 3 completed tasks").
+    pub estimator: EstimatorConfig,
+    /// Training rule `z`: a worker's first `z` assignments get maximum
+    /// edge weight and bypass pruning, to bootstrap the profile.
+    pub training_assignments: u64,
+    /// Whether matcher compute time is charged through the calibrated
+    /// cost model (`react-matching::CostModel`). Disable to treat
+    /// matching as instantaneous (quality-only experiments).
+    pub charge_matching_time: bool,
+    /// Record every task lifecycle transition in an audit log
+    /// ([`crate::AuditLog`]); costs memory proportional to task count.
+    pub audit: bool,
+    /// Latency distribution used by Eq. (2)/(3) (paper: the power law).
+    pub latency_model: LatencyModelKind,
+}
+
+impl Config {
+    /// The configuration of the paper's end-to-end evaluation (Sec. V-C):
+    /// REACT at 1000 cycles, accuracy weights, batches at > 10 unassigned
+    /// tasks, 10 % thresholds, 3-task training.
+    pub fn paper_defaults() -> Self {
+        Config {
+            matcher: MatcherPolicy::React { cycles: 1000 },
+            weight: WeightFunction::Accuracy,
+            batch: BatchTrigger {
+                min_unassigned: 10,
+                period: None,
+            },
+            deadline: DeadlineModelConfig::default(),
+            estimator: EstimatorConfig::default(),
+            training_assignments: 3,
+            charge_matching_time: true,
+            audit: false,
+            latency_model: LatencyModelKind::PowerLaw,
+        }
+    }
+
+    /// Paper defaults with a different matcher (the comparison harness).
+    pub fn with_matcher(matcher: MatcherPolicy) -> Self {
+        Config {
+            matcher,
+            ..Self::paper_defaults()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v() {
+        let c = Config::paper_defaults();
+        assert_eq!(c.matcher, MatcherPolicy::React { cycles: 1000 });
+        assert_eq!(c.batch.min_unassigned, 10);
+        assert_eq!(c.deadline.reassign_threshold, 0.1);
+        assert_eq!(c.estimator.min_samples, 3);
+        assert_eq!(c.training_assignments, 3);
+        assert!(c.charge_matching_time);
+    }
+
+    #[test]
+    fn policy_names_and_model_use() {
+        assert_eq!(MatcherPolicy::React { cycles: 1 }.name(), "react");
+        assert_eq!(MatcherPolicy::Greedy.name(), "greedy");
+        assert_eq!(MatcherPolicy::Traditional.name(), "traditional");
+        assert!(MatcherPolicy::Greedy.uses_probabilistic_model());
+        assert!(!MatcherPolicy::Traditional.uses_probabilistic_model());
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for policy in [
+            MatcherPolicy::React { cycles: 10 },
+            MatcherPolicy::ReactAdaptive { kappa: 0.5 },
+            MatcherPolicy::Metropolis { cycles: 10 },
+            MatcherPolicy::Greedy,
+            MatcherPolicy::Traditional,
+            MatcherPolicy::Hungarian,
+            MatcherPolicy::Auction,
+            MatcherPolicy::MaxCardinality,
+        ] {
+            let m = policy.build(100);
+            assert_eq!(m.name(), policy.name());
+        }
+    }
+
+    #[test]
+    fn batch_trigger_threshold_and_period() {
+        let t = BatchTrigger {
+            min_unassigned: 10,
+            period: Some(5.0),
+        };
+        assert!(!t.should_fire(0, 100.0), "empty queue never fires");
+        assert!(t.should_fire(10, 0.0), "threshold met");
+        assert!(!t.should_fire(3, 1.0), "below both conditions");
+        assert!(t.should_fire(1, 5.0), "period elapsed with waiting task");
+        let threshold_only = BatchTrigger {
+            min_unassigned: 10,
+            period: None,
+        };
+        assert!(!threshold_only.should_fire(9, 1e9));
+        assert!(threshold_only.should_fire(11, 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! The Dynamic Assignment Component.
+//!
+//! Periodically evaluates Eq. (2) — `Pr(t_ij < ExecTime_ij < TTD_ij)` —
+//! for every in-flight assignment, using the executing worker's fitted
+//! power-law model. When the probability falls below the configured
+//! threshold (10 % in the paper) the task is recalled so the Scheduling
+//! Component can find a better worker. Two guards from the paper:
+//!
+//! * the model *"needs at least 3 completed tasks in the worker's
+//!   profile to be initiated"* — cold workers are never second-guessed;
+//! * once a task's deadline has already passed there is no better worker
+//!   by definition (*"there is no worker that will have a better
+//!   probability to finish the task before deadline when it has already
+//!   expired"*), so no recall is issued and the worker finishes late.
+
+use crate::config::Config;
+use crate::ids::{TaskId, WorkerId};
+use crate::profiling::ProfilingComponent;
+use crate::task_mgmt::TaskManagementComponent;
+use react_prob::DeadlineModel;
+
+/// One recall decision: which task to pull back from which worker, and
+/// the Eq. (2) probability that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recall {
+    /// The task to reassign.
+    pub task: TaskId,
+    /// The worker it is recalled from.
+    pub worker: WorkerId,
+    /// The probability that fell below the threshold.
+    pub probability: f64,
+}
+
+/// Stateless in-flight checker.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DynamicAssignmentComponent;
+
+impl DynamicAssignmentComponent {
+    /// Scans all in-flight assignments at time `now` and returns the
+    /// recalls mandated by Eq. (2). Does not mutate any component.
+    pub fn check(
+        config: &Config,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+    ) -> Vec<Recall> {
+        if !config.matcher.uses_probabilistic_model() {
+            return Vec::new();
+        }
+        let deadline_model = DeadlineModel::new(config.deadline);
+        let mut recalls = Vec::new();
+        for (task_id, worker_id) in tasks.assigned() {
+            let rec = tasks.record(task_id).expect("assigned ids are tracked");
+            // Past-due tasks are left to finish late.
+            if rec.remaining_time(now) <= 0.0 {
+                continue;
+            }
+            let Ok(profile) = profiling.profile_mut(worker_id) else {
+                continue; // worker deregistered mid-flight
+            };
+            let Some(model) = profile.deadline_dist(config.latency_model) else {
+                continue; // cold profile: model not initiated yet
+            };
+            let elapsed = rec
+                .elapsed_since_assignment(now)
+                .expect("assigned tasks have an assignment timestamp");
+            let ttd = rec.time_to_deadline().expect("assigned tasks have a TTD");
+            let decision = deadline_model.check_in_flight(&model, elapsed, ttd);
+            if decision.is_reassign() {
+                recalls.push(Recall {
+                    task: task_id,
+                    worker: worker_id,
+                    probability: decision.probability(),
+                });
+            }
+        }
+        recalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatcherPolicy;
+    use crate::ids::TaskCategory;
+    use crate::task::Task;
+    use react_geo::GeoPoint;
+
+    fn task(id: u64, deadline: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            GeoPoint::new(37.98, 23.72),
+            deadline,
+            0.05,
+            TaskCategory(0),
+            "t",
+        )
+    }
+
+    /// One worker with a fast profile (completes in 2–4 s) holding one
+    /// task with the given deadline, assigned at t=0.
+    fn setup(deadline: f64) -> (Config, ProfilingComponent, TaskManagementComponent) {
+        let config = Config::paper_defaults();
+        let mut p = ProfilingComponent::default();
+        p.register(WorkerId(1), GeoPoint::new(37.98, 23.72))
+            .unwrap();
+        for t in [2.0, 3.0, 4.0] {
+            p.record_completion(WorkerId(1), TaskCategory(0), t, true)
+                .unwrap();
+        }
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, deadline), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(1), 0.0).unwrap();
+        (config, p, tm)
+    }
+
+    #[test]
+    fn fresh_assignment_is_kept() {
+        let (config, mut p, tm) = setup(60.0);
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 0.5);
+        assert!(recalls.is_empty());
+    }
+
+    #[test]
+    fn stalled_assignment_is_recalled() {
+        let (config, mut p, tm) = setup(60.0);
+        // 55 s elapsed on a worker that always finished in ≤ 4 s: the
+        // in-window probability is ~0 → recall.
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 55.0);
+        assert_eq!(recalls.len(), 1);
+        assert_eq!(recalls[0].task, TaskId(1));
+        assert_eq!(recalls[0].worker, WorkerId(1));
+        assert!(recalls[0].probability < config.deadline.reassign_threshold);
+    }
+
+    #[test]
+    fn past_due_task_is_left_alone() {
+        let (config, mut p, tm) = setup(60.0);
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 61.0);
+        assert!(recalls.is_empty(), "expired in-flight tasks finish late");
+    }
+
+    #[test]
+    fn cold_worker_is_never_recalled() {
+        let config = Config::paper_defaults();
+        let mut p = ProfilingComponent::default();
+        p.register(WorkerId(1), GeoPoint::new(37.98, 23.72))
+            .unwrap();
+        // Only 2 completions — below the 3-task activation rule.
+        for t in [2.0, 3.0] {
+            p.record_completion(WorkerId(1), TaskCategory(0), t, true)
+                .unwrap();
+        }
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(1), 0.0).unwrap();
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 55.0);
+        assert!(recalls.is_empty());
+    }
+
+    #[test]
+    fn traditional_policy_disables_checks() {
+        let (mut config, mut p, tm) = setup(60.0);
+        config.matcher = MatcherPolicy::Traditional;
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 55.0);
+        assert!(recalls.is_empty());
+    }
+
+    #[test]
+    fn deregistered_worker_is_skipped() {
+        let (config, mut p, tm) = setup(60.0);
+        p.deregister(WorkerId(1)).unwrap();
+        let recalls = DynamicAssignmentComponent::check(&config, &mut p, &tm, 55.0);
+        assert!(recalls.is_empty());
+    }
+}

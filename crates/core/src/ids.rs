@@ -1,0 +1,60 @@
+//! Domain identifiers.
+
+use std::fmt;
+
+/// Identifier of a crowd worker registered with the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u64);
+
+/// Identifier of a submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// A task category (e.g. "traffic estimation", "image labelling").
+///
+/// The paper's weight function (Eq. 1) is the worker's accuracy *within
+/// the task's category*; categories are opaque small integers here and
+/// the embedding application owns their meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskCategory(pub u32);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker#{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "category#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(TaskId(5) > TaskId(3));
+        let mut set = HashSet::new();
+        set.insert(TaskCategory(0));
+        set.insert(TaskCategory(0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(WorkerId(7).to_string(), "worker#7");
+        assert_eq!(TaskId(9).to_string(), "task#9");
+        assert_eq!(TaskCategory(2).to_string(), "category#2");
+    }
+}

@@ -1,0 +1,74 @@
+//! # react-core — the REACT middleware
+//!
+//! Reproduction of the system described in *"Crowdsourcing under
+//! Real-Time Constraints"* (Boutsis & Kalogeraki, IPDPS 2013): a
+//! middleware that assigns crowdsourcing tasks to human workers so that
+//! soft real-time deadlines are met and high-quality results returned.
+//!
+//! A [`ReactServer`] owns one geographic region and composes the paper's
+//! four components (Sec. III-A):
+//!
+//! * [`ProfilingComponent`] — per-worker location, availability, accuracy
+//!   per task category and execution-time history (with the power-law
+//!   estimator from `react-prob`).
+//! * [`TaskManagementComponent`] — every task's state: unassigned /
+//!   assigned (to whom, since when) / completed / expired, plus remaining
+//!   time to deadline.
+//! * [`SchedulingComponent`] — builds the weighted bipartite graph over
+//!   (available workers × unassigned tasks), pruning edges via the
+//!   Eq. (3) probability threshold and boosting new workers for their
+//!   first `z` training assignments, then runs the configured
+//!   [`MatcherPolicy`] (REACT / Metropolis / Greedy / Traditional /
+//!   Hungarian / Auction).
+//! * [`DynamicAssignmentComponent`] — evaluates Eq. (2) on every in-flight
+//!   assignment and pulls tasks back from workers that will likely miss
+//!   the deadline.
+//!
+//! Drive the server by calling [`ReactServer::tick`] with the current
+//! (simulated or wall-clock) time; it returns the [`TickOutcome`] —
+//! fresh assignments, reassignment recalls, expirations and the modelled
+//! scheduler compute time — for the embedding environment (the DES in
+//! `react-crowd`, the threaded runtime in `react-runtime`, or your own
+//! integration) to act on.
+//!
+//! ```
+//! use react_core::{BatchTrigger, Config, ReactServer, Task, TaskCategory, TaskId, WorkerId};
+//! use react_geo::GeoPoint;
+//!
+//! let mut config = Config::paper_defaults();
+//! config.batch = BatchTrigger { min_unassigned: 1, period: None }; // batch eagerly
+//! let mut server = ReactServer::new(config, 42);
+//! let here = GeoPoint::new(37.98, 23.72);
+//! server.register_worker(WorkerId(1), here);
+//! server.submit_task(Task::new(TaskId(1), here, 60.0, 0.05, TaskCategory(0), "congestion on A?"), 0.0);
+//! let outcome = server.tick(0.0);
+//! assert_eq!(outcome.assignments, vec![(WorkerId(1), TaskId(1))]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dynamic;
+pub mod error;
+pub mod events;
+pub mod ids;
+pub mod persist;
+pub mod profiling;
+pub mod scheduling;
+pub mod server;
+pub mod task;
+pub mod task_mgmt;
+pub mod weight;
+
+pub use config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy};
+pub use dynamic::DynamicAssignmentComponent;
+pub use error::CoreError;
+pub use events::{verify_lifecycles, AuditLog, TaskEvent, TaskEventKind};
+pub use ids::{TaskCategory, TaskId, WorkerId};
+pub use persist::{export_profiles, import_profiles, PersistError};
+pub use profiling::{Availability, ProfilingComponent, WorkerProfile};
+pub use scheduling::{BatchResult, SchedulingComponent};
+pub use server::{ReactServer, TickOutcome};
+pub use task::{Task, TaskState};
+pub use task_mgmt::TaskManagementComponent;
+pub use weight::WeightFunction;

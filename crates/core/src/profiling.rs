@@ -1,0 +1,532 @@
+//! The Profiling Component.
+//!
+//! Keeps, for every registered worker: geographic location, current
+//! availability, per-category feedback statistics (the numerator and
+//! denominator of the Eq. 1 accuracy weight), the execution-time history
+//! feeding the power-law estimator, and the number of assignments served
+//! (for the `z`-training rule). *"Our model follows closely the AMT
+//! model, where parameters such as skills and interests are not
+//! considered."*
+
+use crate::error::CoreError;
+use crate::ids::{TaskCategory, WorkerId};
+use react_geo::GeoPoint;
+use react_prob::{EstimatorConfig, ExecTimeEstimator, FittedModel, PowerLaw};
+use std::collections::HashMap;
+
+/// A worker's availability as tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    /// Idle and eligible for assignment.
+    Available,
+    /// Executing a task (one task at a time, per the paper's model).
+    Busy,
+    /// Departed the system (short connectivity cycles are the norm).
+    Offline,
+}
+
+/// Per-category feedback tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct CategoryStats {
+    finished: u64,
+    positive: u64,
+}
+
+/// Everything the platform knows about one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerProfile {
+    id: WorkerId,
+    location: GeoPoint,
+    availability: Availability,
+    by_category: HashMap<TaskCategory, CategoryStats>,
+    estimator: ExecTimeEstimator,
+    assignments_served: u64,
+    reward_range: Option<(f64, f64)>,
+}
+
+impl WorkerProfile {
+    fn new(id: WorkerId, location: GeoPoint, estimator_config: EstimatorConfig) -> Self {
+        WorkerProfile {
+            id,
+            location,
+            availability: Availability::Available,
+            by_category: HashMap::new(),
+            estimator: ExecTimeEstimator::new(estimator_config),
+            assignments_served: 0,
+            reward_range: None,
+        }
+    }
+
+    /// The worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Registered geographic location.
+    pub fn location(&self) -> GeoPoint {
+        self.location
+    }
+
+    /// Current availability.
+    pub fn availability(&self) -> Availability {
+        self.availability
+    }
+
+    /// Total assignments this worker has received (including ones later
+    /// recalled); drives the first-`z` training rule.
+    pub fn assignments_served(&self) -> u64 {
+        self.assignments_served
+    }
+
+    /// Completed tasks across all categories.
+    pub fn total_finished(&self) -> u64 {
+        self.by_category.values().map(|s| s.finished).sum()
+    }
+
+    /// Positive feedbacks across all categories.
+    pub fn total_positive(&self) -> u64 {
+        self.by_category.values().map(|s| s.positive).sum()
+    }
+
+    /// Eq. (1) accuracy for `category`:
+    /// `Σ PositiveTask / Σ FinishedTask` within the category.
+    ///
+    /// Fallback ladder for sparse history (the paper trains new workers
+    /// at maximum weight): no history in the category → overall accuracy;
+    /// no history at all → 1.0 (optimistic).
+    pub fn accuracy(&self, category: TaskCategory) -> f64 {
+        if let Some(s) = self.by_category.get(&category) {
+            if s.finished > 0 {
+                return s.positive as f64 / s.finished as f64;
+            }
+        }
+        let finished = self.total_finished();
+        if finished > 0 {
+            self.total_positive() as f64 / finished as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// The fitted execution-time model (None until the estimator warms
+    /// up — 3 completed tasks with the paper defaults).
+    pub fn exec_model(&mut self) -> Option<PowerLaw> {
+        self.estimator.model()
+    }
+
+    /// The latency distribution for the deadline model, per the
+    /// configured kind (`None` until the estimator warms up).
+    pub fn deadline_dist(&mut self, kind: crate::config::LatencyModelKind) -> Option<FittedModel> {
+        use crate::config::LatencyModelKind;
+        match kind {
+            LatencyModelKind::PowerLaw => self.exec_model().map(FittedModel::PowerLaw),
+            LatencyModelKind::Empirical => self.estimator.empirical().map(FittedModel::Empirical),
+            LatencyModelKind::Auto { ks_threshold } => self.estimator.auto_model(ks_threshold),
+        }
+    }
+
+    /// True once the execution-time model is usable.
+    pub fn is_profiled(&self) -> bool {
+        self.estimator.is_warm()
+    }
+
+    /// Mean observed execution time (None with no history).
+    pub fn mean_exec_time(&self) -> Option<f64> {
+        self.estimator.mean()
+    }
+
+    /// The worker's acceptable reward range, if they declared one.
+    ///
+    /// The paper's pricing extension (Sec. III-C, *Task Rewards*): when a
+    /// task's reward falls outside this range the `(worker, task)` edge
+    /// is never instantiated. `None` means the worker takes any reward.
+    pub fn reward_range(&self) -> Option<(f64, f64)> {
+        self.reward_range
+    }
+
+    /// True when the worker would accept a task paying `reward`.
+    pub fn accepts_reward(&self, reward: f64) -> bool {
+        match self.reward_range {
+            None => true,
+            Some((lo, hi)) => reward >= lo && reward <= hi,
+        }
+    }
+
+    /// Per-category feedback tallies as `(category, finished, positive)`
+    /// triples, sorted by category (for deterministic checkpoints).
+    pub fn category_stats(&self) -> Vec<(TaskCategory, u64, u64)> {
+        let mut v: Vec<(TaskCategory, u64, u64)> = self
+            .by_category
+            .iter()
+            .map(|(c, s)| (*c, s.finished, s.positive))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The retained execution-time samples, in observation order.
+    pub fn exec_samples(&self) -> &[f64] {
+        self.estimator.samples()
+    }
+}
+
+/// Registry of worker profiles.
+#[derive(Debug, Clone)]
+pub struct ProfilingComponent {
+    workers: HashMap<WorkerId, WorkerProfile>,
+    estimator_config: EstimatorConfig,
+}
+
+impl Default for ProfilingComponent {
+    fn default() -> Self {
+        Self::new(EstimatorConfig::default())
+    }
+}
+
+impl ProfilingComponent {
+    /// Creates a profiler whose per-worker estimators use
+    /// `estimator_config`.
+    pub fn new(estimator_config: EstimatorConfig) -> Self {
+        ProfilingComponent {
+            workers: HashMap::new(),
+            estimator_config,
+        }
+    }
+
+    /// Registers a new worker at `location`, initially available.
+    pub fn register(&mut self, id: WorkerId, location: GeoPoint) -> Result<(), CoreError> {
+        if self.workers.contains_key(&id) {
+            return Err(CoreError::DuplicateWorker(id));
+        }
+        self.workers
+            .insert(id, WorkerProfile::new(id, location, self.estimator_config));
+        Ok(())
+    }
+
+    /// Removes a worker entirely (left the system).
+    pub fn deregister(&mut self, id: WorkerId) -> Result<WorkerProfile, CoreError> {
+        self.workers.remove(&id).ok_or(CoreError::UnknownWorker(id))
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Immutable access to a profile.
+    pub fn profile(&self, id: WorkerId) -> Result<&WorkerProfile, CoreError> {
+        self.workers.get(&id).ok_or(CoreError::UnknownWorker(id))
+    }
+
+    /// Mutable access to a profile (used by the scheduler for lazily
+    /// fitted models).
+    pub fn profile_mut(&mut self, id: WorkerId) -> Result<&mut WorkerProfile, CoreError> {
+        self.workers
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownWorker(id))
+    }
+
+    /// Sets a worker's availability.
+    pub fn set_availability(
+        &mut self,
+        id: WorkerId,
+        availability: Availability,
+    ) -> Result<(), CoreError> {
+        self.profile_mut(id)?.availability = availability;
+        Ok(())
+    }
+
+    /// Updates a worker's reported location.
+    pub fn set_location(&mut self, id: WorkerId, location: GeoPoint) -> Result<(), CoreError> {
+        self.profile_mut(id)?.location = location;
+        Ok(())
+    }
+
+    /// Declares (or clears, with `None`) a worker's acceptable reward
+    /// range — the paper's pricing extension. The range can be changed
+    /// at any time *"based on the user's current needs and mood"*.
+    pub fn set_reward_range(
+        &mut self,
+        id: WorkerId,
+        range: Option<(f64, f64)>,
+    ) -> Result<(), CoreError> {
+        let normalized = range.map(|(a, b)| if a <= b { (a, b) } else { (b, a) });
+        self.profile_mut(id)?.reward_range = normalized;
+        Ok(())
+    }
+
+    /// Records that the worker received an assignment (training counter)
+    /// and marks them busy.
+    pub fn record_assignment(&mut self, id: WorkerId) -> Result<(), CoreError> {
+        let p = self.profile_mut(id)?;
+        p.assignments_served += 1;
+        p.availability = Availability::Busy;
+        Ok(())
+    }
+
+    /// Records a completed task: execution time feeds the power-law
+    /// estimator, the requester's feedback updates the category tally,
+    /// and the worker becomes available again.
+    pub fn record_completion(
+        &mut self,
+        id: WorkerId,
+        category: TaskCategory,
+        exec_time: f64,
+        positive_feedback: bool,
+    ) -> Result<(), CoreError> {
+        let p = self.profile_mut(id)?;
+        p.estimator.observe(exec_time);
+        let stats = p.by_category.entry(category).or_default();
+        stats.finished += 1;
+        if positive_feedback {
+            stats.positive += 1;
+        }
+        p.availability = Availability::Available;
+        Ok(())
+    }
+
+    /// Records that a task was recalled from the worker (reassignment):
+    /// the worker becomes available but no completion is logged.
+    pub fn record_recall(&mut self, id: WorkerId) -> Result<(), CoreError> {
+        self.set_availability(id, Availability::Available)
+    }
+
+    /// Ids of all currently available workers, in sorted order for
+    /// deterministic graph construction.
+    pub fn available_workers(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self
+            .workers
+            .values()
+            .filter(|p| p.availability == Availability::Available)
+            .map(|p| p.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Ids of all online (available **or** busy) workers, sorted. This is
+    /// the Traditional policy's pool: AMT-style systems have no
+    /// availability signal, so busy workers receive work too.
+    pub fn online_workers(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self
+            .workers
+            .values()
+            .filter(|p| p.availability != Availability::Offline)
+            .map(|p| p.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Iterates over all profiles (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &WorkerProfile> {
+        self.workers.values()
+    }
+
+    /// Rebuilds a worker profile from checkpointed state (see
+    /// [`crate::persist`]). The worker is registered as available; the
+    /// execution-time samples replay through the estimator in order so
+    /// window semantics are preserved.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        &mut self,
+        id: WorkerId,
+        location: GeoPoint,
+        assignments_served: u64,
+        reward_range: Option<(f64, f64)>,
+        category_stats: &[(TaskCategory, u64, u64)],
+        exec_samples: &[f64],
+    ) -> Result<(), CoreError> {
+        self.register(id, location)?;
+        let profile = self.profile_mut(id).expect("just registered");
+        profile.assignments_served = assignments_served;
+        profile.reward_range = reward_range.map(|(a, b)| if a <= b { (a, b) } else { (b, a) });
+        for &(category, finished, positive) in category_stats {
+            profile.by_category.insert(
+                category,
+                CategoryStats {
+                    finished,
+                    positive: positive.min(finished),
+                },
+            );
+        }
+        for &t in exec_samples {
+            profile.estimator.observe(t);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn here() -> GeoPoint {
+        GeoPoint::new(37.98, 23.72)
+    }
+
+    fn profiler_with_worker() -> ProfilingComponent {
+        let mut p = ProfilingComponent::default();
+        p.register(WorkerId(1), here()).unwrap();
+        p
+    }
+
+    #[test]
+    fn register_and_duplicate() {
+        let mut p = profiler_with_worker();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(
+            p.register(WorkerId(1), here()),
+            Err(CoreError::DuplicateWorker(WorkerId(1)))
+        );
+        assert!(p.profile(WorkerId(2)).is_err());
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut p = profiler_with_worker();
+        let prof = p.deregister(WorkerId(1)).unwrap();
+        assert_eq!(prof.id(), WorkerId(1));
+        assert!(p.is_empty());
+        assert!(matches!(
+            p.deregister(WorkerId(1)),
+            Err(CoreError::UnknownWorker(WorkerId(1)))
+        ));
+    }
+
+    #[test]
+    fn availability_transitions() {
+        let mut p = profiler_with_worker();
+        assert_eq!(
+            p.profile(WorkerId(1)).unwrap().availability(),
+            Availability::Available
+        );
+        p.record_assignment(WorkerId(1)).unwrap();
+        assert_eq!(
+            p.profile(WorkerId(1)).unwrap().availability(),
+            Availability::Busy
+        );
+        assert!(p.available_workers().is_empty());
+        p.record_completion(WorkerId(1), TaskCategory(0), 5.0, true)
+            .unwrap();
+        assert_eq!(
+            p.profile(WorkerId(1)).unwrap().availability(),
+            Availability::Available
+        );
+        assert_eq!(p.available_workers(), vec![WorkerId(1)]);
+        p.set_availability(WorkerId(1), Availability::Offline)
+            .unwrap();
+        assert!(p.available_workers().is_empty());
+    }
+
+    #[test]
+    fn recall_frees_without_completion() {
+        let mut p = profiler_with_worker();
+        p.record_assignment(WorkerId(1)).unwrap();
+        p.record_recall(WorkerId(1)).unwrap();
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert_eq!(prof.availability(), Availability::Available);
+        assert_eq!(prof.total_finished(), 0);
+        assert_eq!(prof.assignments_served(), 1);
+    }
+
+    #[test]
+    fn eq1_accuracy_per_category() {
+        let mut p = profiler_with_worker();
+        let cat = TaskCategory(7);
+        for positive in [true, true, false, true] {
+            p.record_completion(WorkerId(1), cat, 3.0, positive)
+                .unwrap();
+        }
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert!((prof.accuracy(cat) - 0.75).abs() < 1e-12);
+        assert_eq!(prof.total_finished(), 4);
+        assert_eq!(prof.total_positive(), 3);
+    }
+
+    #[test]
+    fn accuracy_fallback_ladder() {
+        let mut p = profiler_with_worker();
+        // Fresh worker: optimistic 1.0 everywhere.
+        assert_eq!(
+            p.profile(WorkerId(1)).unwrap().accuracy(TaskCategory(0)),
+            1.0
+        );
+        // History only in category 0: category 1 falls back to overall.
+        p.record_completion(WorkerId(1), TaskCategory(0), 2.0, false)
+            .unwrap();
+        p.record_completion(WorkerId(1), TaskCategory(0), 2.0, true)
+            .unwrap();
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert!((prof.accuracy(TaskCategory(1)) - 0.5).abs() < 1e-12);
+        assert!((prof.accuracy(TaskCategory(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_warms_after_three_completions() {
+        let mut p = profiler_with_worker();
+        for t in [4.0, 6.0] {
+            p.record_completion(WorkerId(1), TaskCategory(0), t, true)
+                .unwrap();
+        }
+        assert!(!p.profile(WorkerId(1)).unwrap().is_profiled());
+        assert!(p.profile_mut(WorkerId(1)).unwrap().exec_model().is_none());
+        p.record_completion(WorkerId(1), TaskCategory(0), 9.0, true)
+            .unwrap();
+        let prof = p.profile_mut(WorkerId(1)).unwrap();
+        assert!(prof.is_profiled());
+        let model = prof.exec_model().unwrap();
+        assert_eq!(model.k_min(), 4.0);
+        assert!((prof.mean_exec_time().unwrap() - 19.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn available_workers_sorted() {
+        let mut p = ProfilingComponent::default();
+        for id in [5, 1, 9, 3] {
+            p.register(WorkerId(id), here()).unwrap();
+        }
+        assert_eq!(
+            p.available_workers(),
+            vec![WorkerId(1), WorkerId(3), WorkerId(5), WorkerId(9)]
+        );
+    }
+
+    #[test]
+    fn reward_range_declaration() {
+        let mut p = profiler_with_worker();
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert_eq!(prof.reward_range(), None);
+        assert!(prof.accepts_reward(0.0));
+        p.set_reward_range(WorkerId(1), Some((0.05, 0.50))).unwrap();
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert!(prof.accepts_reward(0.05));
+        assert!(prof.accepts_reward(0.50));
+        assert!(!prof.accepts_reward(0.01));
+        assert!(!prof.accepts_reward(0.51));
+        // Reversed bounds are normalised.
+        p.set_reward_range(WorkerId(1), Some((0.9, 0.1))).unwrap();
+        assert_eq!(
+            p.profile(WorkerId(1)).unwrap().reward_range(),
+            Some((0.1, 0.9))
+        );
+        // Clearing restores accept-anything.
+        p.set_reward_range(WorkerId(1), None).unwrap();
+        assert!(p.profile(WorkerId(1)).unwrap().accepts_reward(1e9));
+        assert!(p.set_reward_range(WorkerId(2), None).is_err());
+    }
+
+    #[test]
+    fn location_update() {
+        let mut p = profiler_with_worker();
+        let new_loc = GeoPoint::new(40.64, 22.94);
+        p.set_location(WorkerId(1), new_loc).unwrap();
+        assert_eq!(p.profile(WorkerId(1)).unwrap().location(), new_loc);
+    }
+}

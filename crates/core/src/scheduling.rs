@@ -1,0 +1,430 @@
+//! The Scheduling Component.
+//!
+//! Per batch: build the weighted bipartite graph over (available workers
+//! × unassigned tasks) — applying the paper's two graph-construction
+//! rules — then run the configured matcher.
+//!
+//! Graph-construction rules (Sec. IV-A):
+//!
+//! 1. **Training**: *"for the first z assignments of a new worker, we
+//!    instantiate the edges with all available tasks and we assign the
+//!    maximum value of F"* — bootstraps profiles for fresh workers.
+//! 2. **Probabilistic pruning**: otherwise an edge `(worker, task)` is
+//!    only instantiated when `Pr(ExecTime < TimeToDeadline)` (Eq. 3,
+//!    from the worker's power-law model) exceeds the configured lower
+//!    bound; its weight is `F(worker, task)`.
+//!
+//! Workers whose estimator is not yet warm (fewer than the minimum
+//! completed tasks) cannot be evaluated by Eq. (3); they are instantiated
+//! optimistically with their current `F`, consistent with the paper's
+//! intent that pruning only applies once a profile exists.
+
+use crate::config::{Config, MatcherPolicy};
+use crate::ids::{TaskId, WorkerId};
+use crate::profiling::ProfilingComponent;
+use crate::task_mgmt::TaskManagementComponent;
+use rand::RngCore;
+use react_matching::{BipartiteGraph, TaskIdx, WorkerIdx};
+use react_prob::DeadlineModel;
+
+/// The outcome of one scheduling batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Selected assignments in `(worker, task)` form.
+    pub assignments: Vec<(WorkerId, TaskId)>,
+    /// Achieved matching weight `Σ w_ij x_ij`.
+    pub total_weight: f64,
+    /// Abstract compute cost reported by the matcher over the *batch*
+    /// subgraph (unassigned tasks only).
+    pub cost_units: f64,
+    /// Compute cost over the maintained *region* graph (all open tasks ×
+    /// the worker pool) — see [`region_cost_units`]. This is what the
+    /// server charges through the calibrated cost model.
+    pub region_cost_units: f64,
+    /// The matcher that ran.
+    pub matcher_name: &'static str,
+    /// Graph dimensions, for diagnostics: (workers, tasks, edges).
+    pub graph_shape: (usize, usize, usize),
+    /// Edges pruned by the Eq. (3) rule.
+    pub pruned_edges: usize,
+}
+
+/// Stateless batch scheduler (all state lives in the components).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedulingComponent;
+
+impl SchedulingComponent {
+    /// Builds the assignment graph. Returns the graph plus the
+    /// worker/task index maps and the number of pruned edges.
+    ///
+    /// `now` is the assignment timepoint used for `TimeToDeadline`
+    /// (assignments made by this batch start now).
+    pub fn build_graph(
+        config: &Config,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+    ) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
+        let workers = if config.matcher.uses_availability() {
+            profiling.available_workers()
+        } else {
+            profiling.online_workers()
+        };
+        let task_ids: Vec<TaskId> = tasks.unassigned().to_vec();
+        let mut graph = BipartiteGraph::new(workers.len(), task_ids.len());
+        let deadline_model = DeadlineModel::new(config.deadline);
+        let use_model = config.matcher.uses_probabilistic_model();
+        let mut pruned = 0usize;
+
+        for (u, &wid) in workers.iter().enumerate() {
+            // Fetch the fitted model once per worker (lazily refit).
+            let profile = profiling
+                .profile_mut(wid)
+                .expect("available_workers returns registered ids");
+            let in_training = profile.assignments_served() < config.training_assignments;
+            let model = if use_model && !in_training {
+                profile.deadline_dist(config.latency_model)
+            } else {
+                None
+            };
+            let profile = profiling.profile(wid).expect("profile still registered");
+            for (v, &tid) in task_ids.iter().enumerate() {
+                let rec = tasks.record(tid).expect("unassigned ids are tracked");
+                // Pricing extension (Sec. III-C): a task whose reward
+                // falls outside the worker's declared range never gets
+                // an edge at all.
+                if !profile.accepts_reward(rec.task.reward) {
+                    pruned += 1;
+                    continue;
+                }
+                let weight = if in_training {
+                    // Training rule: maximum F.
+                    1.0
+                } else {
+                    config.weight.evaluate(profile, &rec.task)
+                };
+                if let Some(m) = &model {
+                    let ttd = rec.remaining_time(now);
+                    if !deadline_model.should_instantiate_edge(m, ttd) {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+                graph
+                    .add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v as u32), weight)
+                    .expect("indices in range, weights in [0,1]");
+            }
+        }
+        (graph, workers, task_ids, pruned)
+    }
+
+    /// Runs one batch: graph construction + matching. Does **not**
+    /// mutate component state — the server applies the assignments so it
+    /// can also charge the modelled matching latency.
+    pub fn run_batch(
+        config: &Config,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+        rng: &mut dyn RngCore,
+    ) -> BatchResult {
+        let (graph, workers, task_ids, pruned) = Self::build_graph(config, profiling, tasks, now);
+        let matcher = config.matcher.build(graph.n_edges());
+        let matching = matcher.assign(&graph, rng);
+        let assignments = matching
+            .pairs
+            .iter()
+            .map(|&(u, v, _)| (workers[u.0 as usize], task_ids[v.0 as usize]))
+            .collect();
+        let region_cost_units = region_cost_units(
+            &config.matcher,
+            tasks.open_count(),
+            workers.len(),
+            task_ids.len(),
+            matching.cost_units,
+        );
+        BatchResult {
+            assignments,
+            total_weight: matching.total_weight,
+            cost_units: matching.cost_units,
+            region_cost_units,
+            matcher_name: matcher.name(),
+            graph_shape: (graph.n_workers(), graph.n_tasks(), graph.n_edges()),
+            pruned_edges: pruned,
+        }
+    }
+}
+
+/// Compute cost over the maintained region graph.
+///
+/// Sec. III-C keeps the bipartite graph over *all* open tasks in the
+/// region (vertices leave only on completion), so each batch's work
+/// scales with the full graph `E_region = V_open · |pool|`, not just the
+/// unassigned subgraph the matching ultimately selects from:
+///
+/// * REACT/Metropolis: `c · E_region` (the paper's `O(c·E)` bound);
+/// * Greedy: `V_open · E_region` (the paper's `O(V·E)` bound) — the
+///   quadratic-in-backlog growth behind its Fig. 5/9 collapse;
+/// * Hungarian: `n³` on the padded region graph;
+/// * Auction: the reported bids, rescaled from the batch subgraph to the
+///   region graph;
+/// * Traditional: one portal lookup per assigned task (no graph at all).
+pub fn region_cost_units(
+    policy: &MatcherPolicy,
+    open_tasks: usize,
+    pool_size: usize,
+    batch_tasks: usize,
+    batch_cost_units: f64,
+) -> f64 {
+    let v = open_tasks.max(batch_tasks) as f64;
+    let e_region = v * pool_size as f64;
+    match *policy {
+        MatcherPolicy::React { cycles } | MatcherPolicy::Metropolis { cycles } => {
+            cycles as f64 * e_region
+        }
+        MatcherPolicy::ReactAdaptive { kappa } => (kappa * e_region).ceil().max(1.0) * e_region,
+        MatcherPolicy::Greedy => v * e_region,
+        MatcherPolicy::Traditional => batch_tasks as f64,
+        MatcherPolicy::Hungarian => {
+            let n = v.max(pool_size as f64);
+            n * n * n
+        }
+        MatcherPolicy::Auction => {
+            let batch_edges = (batch_tasks * pool_size).max(1) as f64;
+            batch_cost_units * (e_region / batch_edges).max(1.0)
+        }
+        MatcherPolicy::MaxCardinality => e_region * v.max(pool_size as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatcherPolicy;
+    use crate::ids::TaskCategory;
+    use crate::task::Task;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use react_geo::GeoPoint;
+
+    fn here() -> GeoPoint {
+        GeoPoint::new(37.98, 23.72)
+    }
+
+    fn task(id: u64, deadline: f64) -> Task {
+        Task::new(TaskId(id), here(), deadline, 0.05, TaskCategory(0), "t")
+    }
+
+    fn setup(n_workers: u64, n_tasks: u64) -> (ProfilingComponent, TaskManagementComponent) {
+        let mut p = ProfilingComponent::default();
+        for i in 0..n_workers {
+            p.register(WorkerId(i), here()).unwrap();
+        }
+        let mut tm = TaskManagementComponent::new();
+        for i in 0..n_tasks {
+            tm.submit(task(i, 60.0), 0.0).unwrap();
+        }
+        (p, tm)
+    }
+
+    /// Marks a worker as past training with a known profile.
+    fn season_worker(p: &mut ProfilingComponent, id: WorkerId, exec_times: &[f64]) {
+        for &t in exec_times {
+            p.record_assignment(id).unwrap();
+            p.record_completion(id, TaskCategory(0), t, true).unwrap();
+        }
+    }
+
+    #[test]
+    fn training_workers_get_full_edges_with_max_weight() {
+        let config = Config::paper_defaults();
+        let (mut p, tm) = setup(3, 4);
+        let (graph, workers, tasks, pruned) =
+            SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(workers.len(), 3);
+        assert_eq!(tasks.len(), 4);
+        assert_eq!(graph.n_edges(), 12, "training ⇒ no pruning");
+        assert_eq!(pruned, 0);
+        assert!(graph.edges().iter().all(|e| e.weight == 1.0));
+    }
+
+    #[test]
+    fn eq3_pruning_drops_hopeless_edges() {
+        let config = Config::paper_defaults();
+        let (mut p, mut tm) = setup(1, 0);
+        // Season worker 0 with slow history: k_min = 50 s.
+        season_worker(&mut p, WorkerId(0), &[50.0, 80.0, 120.0]);
+        // A task with only 10 s to its deadline is hopeless for them.
+        tm.submit(task(100, 10.0), 0.0).unwrap();
+        // A task with a huge window stays feasible.
+        tm.submit(task(101, 10_000.0), 0.0).unwrap();
+        let (graph, _, tasks, pruned) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(pruned, 1);
+        assert_eq!(graph.n_edges(), 1);
+        assert_eq!(tasks.len(), 2);
+        let edge = &graph.edges()[0];
+        assert_eq!(tasks[edge.task.0 as usize], TaskId(101));
+    }
+
+    #[test]
+    fn traditional_policy_skips_model_entirely() {
+        let mut config = Config::with_matcher(MatcherPolicy::Traditional);
+        config.training_assignments = 0;
+        let (mut p, mut tm) = setup(1, 0);
+        season_worker(&mut p, WorkerId(0), &[50.0, 80.0, 120.0]);
+        tm.submit(task(100, 10.0), 0.0).unwrap();
+        let (graph, _, _, pruned) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(pruned, 0, "traditional never prunes");
+        assert_eq!(graph.n_edges(), 1);
+    }
+
+    #[test]
+    fn seasoned_weight_uses_accuracy() {
+        let mut config = Config::paper_defaults();
+        config.training_assignments = 0;
+        let (mut p, tm) = setup(1, 2);
+        // 1 positive out of 2 → accuracy 0.5; fast worker so no pruning.
+        p.record_completion(WorkerId(0), TaskCategory(0), 1.0, true)
+            .unwrap();
+        p.record_completion(WorkerId(0), TaskCategory(0), 1.5, false)
+            .unwrap();
+        p.record_completion(WorkerId(0), TaskCategory(0), 1.2, true)
+            .unwrap();
+        let (graph, _, _, _) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert!(!graph.is_empty());
+        for e in graph.edges() {
+            assert!((e.weight - 2.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reward_range_prunes_underpaying_tasks() {
+        let config = Config::paper_defaults();
+        let (mut p, mut tm) = setup(1, 0);
+        p.set_reward_range(WorkerId(0), Some((0.5, 2.0))).unwrap();
+        // Default test task pays 0.05 — outside the range.
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        // A generous task pays 1.0 — inside.
+        tm.submit(
+            Task::new(TaskId(2), here(), 60.0, 1.0, TaskCategory(0), "well-paid"),
+            0.0,
+        )
+        .unwrap();
+        let (graph, _, tasks, pruned) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(pruned, 1);
+        assert_eq!(graph.n_edges(), 1);
+        let edge = &graph.edges()[0];
+        assert_eq!(tasks[edge.task.0 as usize], TaskId(2));
+        // Clearing the range restores both edges.
+        p.set_reward_range(WorkerId(0), None).unwrap();
+        let (graph, _, _, pruned) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(pruned, 0);
+        assert_eq!(graph.n_edges(), 2);
+    }
+
+    #[test]
+    fn run_batch_assigns_each_task_once() {
+        let config = Config::paper_defaults();
+        let (mut p, tm) = setup(10, 5);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let result = SchedulingComponent::run_batch(&config, &mut p, &tm, 0.0, &mut rng);
+        assert_eq!(result.matcher_name, "react");
+        assert!(result.assignments.len() <= 5);
+        let mut seen_tasks = std::collections::HashSet::new();
+        let mut seen_workers = std::collections::HashSet::new();
+        for (w, t) in &result.assignments {
+            assert!(seen_tasks.insert(*t));
+            assert!(seen_workers.insert(*w));
+        }
+        assert_eq!(result.graph_shape, (10, 5, 50));
+    }
+
+    #[test]
+    fn run_batch_with_busy_workers_only_uses_available() {
+        let config = Config::paper_defaults();
+        let (mut p, tm) = setup(3, 3);
+        p.record_assignment(WorkerId(0)).unwrap(); // busy
+        let mut rng = SmallRng::seed_from_u64(2);
+        let result = SchedulingComponent::run_batch(&config, &mut p, &tm, 0.0, &mut rng);
+        assert!(result.assignments.iter().all(|(w, _)| *w != WorkerId(0)));
+        assert_eq!(result.graph_shape.0, 2);
+    }
+
+    #[test]
+    fn region_cost_units_follow_complexity_laws() {
+        // 100 open tasks over a 50-worker pool → E_region = 5000.
+        let (open, pool, batch) = (100usize, 50usize, 20usize);
+        let e_region = 5000.0;
+        assert_eq!(
+            region_cost_units(
+                &MatcherPolicy::React { cycles: 1000 },
+                open,
+                pool,
+                batch,
+                0.0
+            ),
+            1000.0 * e_region
+        );
+        assert_eq!(
+            region_cost_units(
+                &MatcherPolicy::Metropolis { cycles: 500 },
+                open,
+                pool,
+                batch,
+                0.0
+            ),
+            500.0 * e_region
+        );
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::Greedy, open, pool, batch, 0.0),
+            100.0 * e_region
+        );
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::Traditional, open, pool, batch, 0.0),
+            batch as f64
+        );
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::Hungarian, open, pool, batch, 0.0),
+            100.0f64.powi(3)
+        );
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::MaxCardinality, open, pool, batch, 0.0),
+            e_region * 10.0
+        );
+        // Auction rescales reported bids from the batch to the region
+        // graph: 5000 / (20*50) = 5x.
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::Auction, open, pool, batch, 40.0),
+            200.0
+        );
+        // Open count can never undershoot the batch size.
+        assert_eq!(
+            region_cost_units(&MatcherPolicy::Greedy, 0, pool, batch, 0.0),
+            20.0 * (20.0 * 50.0)
+        );
+    }
+
+    #[test]
+    fn greedy_region_cost_grows_quadratically_with_backlog() {
+        // The mechanism behind the paper's Fig. 9 collapse.
+        let small = region_cost_units(&MatcherPolicy::Greedy, 100, 500, 10, 0.0);
+        let big = region_cost_units(&MatcherPolicy::Greedy, 200, 500, 10, 0.0);
+        assert!((big / small - 4.0).abs() < 1e-9, "ratio {}", big / small);
+        // REACT grows only linearly.
+        let small = region_cost_units(&MatcherPolicy::React { cycles: 1000 }, 100, 500, 10, 0.0);
+        let big = region_cost_units(&MatcherPolicy::React { cycles: 1000 }, 200, 500, 10, 0.0);
+        assert!((big / small - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_batch() {
+        let config = Config::paper_defaults();
+        let (mut p, tm) = setup(0, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let result = SchedulingComponent::run_batch(&config, &mut p, &tm, 0.0, &mut rng);
+        assert!(result.assignments.is_empty());
+        let (mut p, tm) = setup(3, 0);
+        let result = SchedulingComponent::run_batch(&config, &mut p, &tm, 0.0, &mut rng);
+        assert!(result.assignments.is_empty());
+    }
+}

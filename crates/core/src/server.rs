@@ -1,0 +1,560 @@
+//! The REACT region server: composition of the four components.
+//!
+//! One `ReactServer` owns one geographic region (point→server routing
+//! across regions lives in `react-geo`). The embedding environment —
+//! discrete-event simulation, threaded runtime or a real deployment —
+//! drives it through three entry points:
+//!
+//! * [`ReactServer::submit_task`] / [`ReactServer::register_worker`] —
+//!   ingestion;
+//! * [`ReactServer::tick`] — the periodic control step: expire overdue
+//!   queued tasks, recall doomed assignments (Eq. 2), and run a matching
+//!   batch when the trigger fires, charging the calibrated scheduler
+//!   latency;
+//! * [`ReactServer::complete_task`] — a worker returned a result: update
+//!   deadline accounting, requester feedback and the worker's profile.
+
+use crate::config::Config;
+use crate::dynamic::{DynamicAssignmentComponent, Recall};
+use crate::error::CoreError;
+use crate::events::{AuditLog, TaskEventKind};
+use crate::ids::{TaskId, WorkerId};
+use crate::profiling::{Availability, ProfilingComponent};
+use crate::scheduling::{BatchResult, SchedulingComponent};
+use crate::task::Task;
+use crate::task_mgmt::TaskManagementComponent;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use react_geo::GeoPoint;
+use react_matching::CostModel;
+
+/// Everything that happened during one [`ReactServer::tick`].
+#[derive(Debug, Clone, Default)]
+pub struct TickOutcome {
+    /// Queued tasks whose deadlines expired before assignment.
+    pub expired: Vec<TaskId>,
+    /// Tasks recalled from workers by the Eq. (2) check (already moved
+    /// back to the unassigned pool).
+    pub recalls: Vec<Recall>,
+    /// Fresh `(worker, task)` assignments from this tick's batch.
+    pub assignments: Vec<(WorkerId, TaskId)>,
+    /// When the batch's assignments take effect: `now` plus the modelled
+    /// matching latency. Workers should start executing at this instant.
+    pub effective_at: f64,
+    /// Modelled scheduler compute time for this batch (0 when no batch
+    /// ran or `charge_matching_time` is off).
+    pub matching_seconds: f64,
+    /// Full batch diagnostics when a batch ran.
+    pub batch: Option<BatchResult>,
+}
+
+/// Result of a completed task, for the caller's metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionOutcome {
+    /// Did the result arrive before the task's deadline?
+    pub met_deadline: bool,
+    /// The requester feedback recorded (positive requires the deadline
+    /// to have been met — the paper's Fig. 6 semantics).
+    pub positive_feedback: bool,
+    /// `ExecTime_ij`: seconds from (effective) assignment to completion.
+    pub exec_time: f64,
+}
+
+/// A REACT region server.
+#[derive(Debug, Clone)]
+pub struct ReactServer {
+    config: Config,
+    profiling: ProfilingComponent,
+    tasks: TaskManagementComponent,
+    cost_model: CostModel,
+    rng: SmallRng,
+    /// The scheduler is busy (matching) until this instant; new batches
+    /// wait for it.
+    busy_until: f64,
+    last_batch_at: f64,
+    total_matching_seconds: f64,
+    batches_run: u64,
+    audit: Option<AuditLog>,
+}
+
+impl ReactServer {
+    /// Creates a server with the given configuration and RNG seed (the
+    /// seed feeds the randomized matchers; equal seeds ⇒ equal runs).
+    pub fn new(config: Config, seed: u64) -> Self {
+        let estimator = config.estimator;
+        let audit = config.audit.then(AuditLog::new);
+        ReactServer {
+            config,
+            profiling: ProfilingComponent::new(estimator),
+            tasks: TaskManagementComponent::new(),
+            cost_model: CostModel::paper_calibrated(),
+            rng: SmallRng::seed_from_u64(seed),
+            busy_until: 0.0,
+            last_batch_at: 0.0,
+            total_matching_seconds: 0.0,
+            batches_run: 0,
+            audit,
+        }
+    }
+
+    /// Enables the task lifecycle audit log (see [`crate::AuditLog`]),
+    /// regardless of the configuration flag.
+    pub fn with_audit(mut self) -> Self {
+        self.audit.get_or_insert_with(AuditLog::new);
+        self
+    }
+
+    /// The audit log, when enabled.
+    pub fn audit(&self) -> Option<&AuditLog> {
+        self.audit.as_ref()
+    }
+
+    fn record_event(&mut self, at: f64, task: crate::ids::TaskId, kind: TaskEventKind) {
+        if let Some(log) = self.audit.as_mut() {
+            log.push(at, task, kind);
+        }
+    }
+
+    /// Replaces the scheduler cost model (e.g. [`CostModel::free`] for
+    /// quality-only experiments).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Read access to worker profiles.
+    pub fn profiling(&self) -> &ProfilingComponent {
+        &self.profiling
+    }
+
+    /// Read access to task records.
+    pub fn tasks(&self) -> &TaskManagementComponent {
+        &self.tasks
+    }
+
+    /// Accumulated modelled matching time across all batches.
+    pub fn total_matching_seconds(&self) -> f64 {
+        self.total_matching_seconds
+    }
+
+    /// Number of batches run so far.
+    pub fn batches_run(&self) -> u64 {
+        self.batches_run
+    }
+
+    /// The instant until which the scheduler is busy matching.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+
+    // ----- ingestion ------------------------------------------------
+
+    /// Registers a worker located at `location`, initially available.
+    pub fn register_worker(&mut self, id: WorkerId, location: GeoPoint) {
+        // Duplicate registration is a caller bug in simulations but a
+        // routine reconnect in a live system: treat as location update.
+        // Only an *offline* worker flips back to available — a busy one
+        // re-registering (say, a flaky connection) must stay busy, or
+        // the scheduler would double-book them.
+        if self.profiling.register(id, location).is_err() {
+            let _ = self.profiling.set_location(id, location);
+            if self
+                .profiling
+                .profile(id)
+                .map(|p| p.availability() == Availability::Offline)
+                .unwrap_or(false)
+            {
+                let _ = self.profiling.set_availability(id, Availability::Available);
+            }
+        }
+    }
+
+    /// Marks a worker as departed. Every task they were executing (or,
+    /// under the Traditional policy, queueing for) returns to the
+    /// unassigned pool — the Dynamic Assignment Component *"is able to
+    /// deal with changes in the worker set ... by reassigning the tasks
+    /// when workers abandon the system"*. Returns the recalled tasks.
+    pub fn worker_offline(&mut self, id: WorkerId, now: f64) -> Vec<TaskId> {
+        let held: Vec<TaskId> = self
+            .tasks
+            .assigned()
+            .into_iter()
+            .filter(|&(_, w)| w == id)
+            .map(|(t, _)| t)
+            .collect();
+        for &task in &held {
+            if self.tasks.mark_unassigned(task).is_ok() {
+                self.record_event(now, task, TaskEventKind::Recalled { worker: id });
+            }
+        }
+        let _ = self.profiling.set_availability(id, Availability::Offline);
+        held
+    }
+
+    /// A previously offline worker came back. A no-op for workers that
+    /// are not actually offline (a spurious reconnect while busy must
+    /// not free the worker for double-booking).
+    pub fn worker_online(&mut self, id: WorkerId) -> Result<(), CoreError> {
+        if self.profiling.profile(id)?.availability() == Availability::Offline {
+            self.profiling
+                .set_availability(id, Availability::Available)?;
+        }
+        Ok(())
+    }
+
+    /// Accepts a task submitted at time `now`.
+    pub fn submit_task(&mut self, task: Task, now: f64) {
+        // Duplicate submissions are dropped (idempotent ingestion).
+        let id = task.id;
+        if self.tasks.submit(task, now).is_ok() {
+            self.record_event(now, id, TaskEventKind::Submitted);
+        }
+    }
+
+    // ----- the control step ------------------------------------------
+
+    /// One control step at time `now`: expiry sweep → Eq. (2) recalls →
+    /// batch matching (when triggered and the scheduler is free).
+    pub fn tick(&mut self, now: f64) -> TickOutcome {
+        let mut outcome = TickOutcome {
+            effective_at: now,
+            ..TickOutcome::default()
+        };
+
+        // 1. Retire queued tasks that can no longer make their deadline.
+        outcome.expired = self.tasks.expire_overdue_unassigned(now);
+        for &task in &outcome.expired {
+            self.record_event(now, task, TaskEventKind::Expired);
+        }
+
+        // 2. Recall in-flight assignments the model has given up on.
+        let recalls =
+            DynamicAssignmentComponent::check(&self.config, &mut self.profiling, &self.tasks, now);
+        for recall in &recalls {
+            if self.tasks.mark_unassigned(recall.task).is_ok() {
+                let _ = self.profiling.record_recall(recall.worker);
+                self.record_event(
+                    now,
+                    recall.task,
+                    TaskEventKind::Recalled {
+                        worker: recall.worker,
+                    },
+                );
+            }
+        }
+        outcome.recalls = recalls;
+
+        // 3. Matching batch, when the scheduler is free and triggered.
+        let since_last = now - self.last_batch_at;
+        if now >= self.busy_until
+            && self
+                .config
+                .batch
+                .should_fire(self.tasks.unassigned_count(), since_last)
+        {
+            let batch = SchedulingComponent::run_batch(
+                &self.config,
+                &mut self.profiling,
+                &self.tasks,
+                now,
+                &mut self.rng,
+            );
+            let seconds = if self.config.charge_matching_time {
+                self.cost_model
+                    .seconds_for(batch.matcher_name, batch.region_cost_units)
+            } else {
+                0.0
+            };
+            let effective_at = now + seconds;
+            for &(worker, task) in &batch.assignments {
+                self.tasks
+                    .mark_assigned(task, worker, effective_at)
+                    .expect("batch assigns tracked unassigned tasks");
+                self.profiling
+                    .record_assignment(worker)
+                    .expect("batch assigns registered workers");
+                self.record_event(effective_at, task, TaskEventKind::Assigned { worker });
+            }
+            self.busy_until = effective_at;
+            self.last_batch_at = now;
+            self.total_matching_seconds += seconds;
+            self.batches_run += 1;
+            outcome.assignments = batch.assignments.clone();
+            outcome.matching_seconds = seconds;
+            outcome.effective_at = effective_at;
+            outcome.batch = Some(batch);
+        }
+        outcome
+    }
+
+    // ----- completions ------------------------------------------------
+
+    /// A worker returned a result at `now`. `quality_ok` is the
+    /// requester's verdict on the result content (in the simulation:
+    /// a coin weighted by the worker's intrinsic quality); the recorded
+    /// feedback is positive only when the deadline was also met.
+    pub fn complete_task(
+        &mut self,
+        task: TaskId,
+        worker: WorkerId,
+        now: f64,
+        quality_ok: bool,
+    ) -> Result<CompletionOutcome, CoreError> {
+        let rec = self.tasks.record(task)?;
+        let exec_time = rec
+            .elapsed_since_assignment(now)
+            .ok_or(CoreError::NotAssigned { task, worker })?;
+        let category = rec.task.category;
+        let met_deadline = self.tasks.complete(task, worker, now)?;
+        let positive_feedback = quality_ok && met_deadline;
+        self.profiling.record_completion(
+            worker,
+            category,
+            exec_time.max(f64::MIN_POSITIVE),
+            positive_feedback,
+        )?;
+        self.record_event(
+            now,
+            task,
+            TaskEventKind::Completed {
+                worker,
+                met_deadline,
+            },
+        );
+        Ok(CompletionOutcome {
+            met_deadline,
+            positive_feedback,
+            exec_time,
+        })
+    }
+
+    /// Drops retired task records older than `horizon` seconds (memory
+    /// hygiene for long runs). Returns how many were pruned.
+    pub fn prune_retired(&mut self, now: f64, horizon: f64) -> usize {
+        self.tasks.prune_retired(now, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BatchTrigger, MatcherPolicy};
+    use crate::ids::TaskCategory;
+    use react_matching::CostModel;
+
+    fn here() -> GeoPoint {
+        GeoPoint::new(37.98, 23.72)
+    }
+
+    fn task(id: u64, deadline: f64) -> Task {
+        Task::new(TaskId(id), here(), deadline, 0.05, TaskCategory(0), "t")
+    }
+
+    /// A server that batches on every waiting task and charges no
+    /// matching time — convenient for step-by-step tests.
+    fn eager_server() -> ReactServer {
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        ReactServer::new(config, 7).with_cost_model(CostModel::free())
+    }
+
+    #[test]
+    fn assigns_submitted_task_to_registered_worker() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        let out = s.tick(0.0);
+        assert_eq!(out.assignments, vec![(WorkerId(1), TaskId(1))]);
+        assert_eq!(out.effective_at, 0.0);
+        assert_eq!(out.matching_seconds, 0.0);
+        assert!(out.expired.is_empty());
+        assert_eq!(s.batches_run(), 1);
+        // Worker is now busy; a second task waits.
+        s.submit_task(task(2, 60.0), 1.0);
+        let out = s.tick(1.0);
+        assert!(out.assignments.is_empty());
+    }
+
+    #[test]
+    fn batch_trigger_threshold_respected() {
+        let mut config = Config::paper_defaults(); // min_unassigned = 10
+        config.charge_matching_time = false;
+        let mut s = ReactServer::new(config, 1);
+        for w in 0..20 {
+            s.register_worker(WorkerId(w), here());
+        }
+        for t in 0..9 {
+            s.submit_task(task(t, 60.0), 0.0);
+        }
+        assert!(s.tick(0.0).assignments.is_empty(), "9 < 10: no batch");
+        s.submit_task(task(9, 60.0), 0.0);
+        let out = s.tick(0.0);
+        assert_eq!(out.assignments.len(), 10);
+    }
+
+    #[test]
+    fn charged_matching_time_delays_effect_and_blocks_scheduler() {
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        let mut s = ReactServer::new(config, 1);
+        for w in 0..5 {
+            s.register_worker(WorkerId(w), here());
+        }
+        s.submit_task(task(1, 600.0), 0.0);
+        let out = s.tick(0.0);
+        assert_eq!(out.assignments.len(), 1);
+        assert!(out.matching_seconds > 0.0, "paper cost model charges time");
+        assert_eq!(out.effective_at, out.matching_seconds);
+        assert_eq!(s.busy_until(), out.effective_at);
+        // While busy, no further batch runs.
+        s.submit_task(task(2, 600.0), 0.0);
+        let mid = s.tick(out.effective_at / 2.0);
+        assert!(mid.assignments.is_empty());
+        // After the busy window the queued task is served.
+        let later = s.tick(out.effective_at);
+        assert_eq!(later.assignments.len(), 1);
+        assert!(s.total_matching_seconds() > 0.0);
+    }
+
+    #[test]
+    fn completion_updates_profile_and_feedback() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        s.tick(0.0);
+        let out = s.complete_task(TaskId(1), WorkerId(1), 5.0, true).unwrap();
+        assert!(out.met_deadline);
+        assert!(out.positive_feedback);
+        assert_eq!(out.exec_time, 5.0);
+        let profile = s.profiling().profile(WorkerId(1)).unwrap();
+        assert_eq!(profile.total_finished(), 1);
+        assert_eq!(profile.total_positive(), 1);
+        assert_eq!(profile.availability(), Availability::Available);
+    }
+
+    #[test]
+    fn late_completion_never_earns_positive_feedback() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 10.0), 0.0);
+        s.tick(0.0);
+        let out = s.complete_task(TaskId(1), WorkerId(1), 99.0, true).unwrap();
+        assert!(!out.met_deadline);
+        assert!(!out.positive_feedback, "positive requires met deadline");
+    }
+
+    #[test]
+    fn unassigned_tasks_expire() {
+        let mut s = eager_server();
+        s.submit_task(task(1, 10.0), 0.0);
+        // No workers: the task sits unassigned past its deadline.
+        let out = s.tick(11.0);
+        assert_eq!(out.expired, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn stalled_worker_triggers_recall_and_reassignment() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        // Build a fast profile for worker 1 (3 tasks, 1–2 s each).
+        for t in 0..3 {
+            s.submit_task(task(100 + t, 60.0), 0.0);
+            s.tick(0.0);
+            s.complete_task(TaskId(100 + t), WorkerId(1), 0.0 + 1.5, true)
+                .unwrap();
+        }
+        // Caveat: completions above all at time 1.5; now assign a fresh
+        // task and let the worker stall.
+        s.submit_task(task(200, 60.0), 10.0);
+        let out = s.tick(10.0);
+        assert_eq!(out.assignments.len(), 1);
+        // At t=50 the worker has stalled for 40 s on a ≤2 s profile.
+        s.register_worker(WorkerId(2), here()); // a rescuer appears
+        let out = s.tick(50.0);
+        assert_eq!(out.recalls.len(), 1);
+        assert_eq!(out.recalls[0].task, TaskId(200));
+        assert_eq!(out.recalls[0].worker, WorkerId(1));
+        // The same tick's batch hands the task to the fresh worker.
+        assert_eq!(out.assignments, vec![(WorkerId(2), TaskId(200))]);
+    }
+
+    #[test]
+    fn traditional_server_never_recalls() {
+        let mut config = Config::with_matcher(MatcherPolicy::Traditional);
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        config.charge_matching_time = false;
+        let mut s = ReactServer::new(config, 3);
+        s.register_worker(WorkerId(1), here());
+        for t in 0..3 {
+            s.submit_task(task(100 + t, 60.0), 0.0);
+            s.tick(0.0);
+            s.complete_task(TaskId(100 + t), WorkerId(1), 1.0, true)
+                .unwrap();
+        }
+        s.submit_task(task(200, 60.0), 10.0);
+        s.tick(10.0);
+        let out = s.tick(55.0);
+        assert!(out.recalls.is_empty());
+    }
+
+    #[test]
+    fn worker_offline_recalls_their_task() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        s.tick(0.0);
+        let recalled = s.worker_offline(WorkerId(1), 0.5);
+        assert_eq!(recalled, vec![TaskId(1)]);
+        assert_eq!(s.tasks().unassigned(), &[TaskId(1)]);
+        // Coming back online makes them assignable again.
+        s.worker_online(WorkerId(1)).unwrap();
+        let out = s.tick(1.0);
+        assert_eq!(out.assignments, vec![(WorkerId(1), TaskId(1))]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_location_update() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        let elsewhere = GeoPoint::new(40.64, 22.94);
+        s.register_worker(WorkerId(1), elsewhere);
+        assert_eq!(
+            s.profiling().profile(WorkerId(1)).unwrap().location(),
+            elsewhere
+        );
+    }
+
+    #[test]
+    fn completion_of_unassigned_task_fails() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        // Not yet ticked: task unassigned.
+        assert!(s.complete_task(TaskId(1), WorkerId(1), 5.0, true).is_err());
+        assert!(s.complete_task(TaskId(9), WorkerId(1), 5.0, true).is_err());
+    }
+
+    #[test]
+    fn prune_retired_delegates() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 10.0), 0.0);
+        s.tick(0.0);
+        s.complete_task(TaskId(1), WorkerId(1), 1.0, true).unwrap();
+        assert_eq!(s.prune_retired(1_000.0, 10.0), 1);
+    }
+}

@@ -1,0 +1,361 @@
+//! The Task Management Component.
+//!
+//! Tracks every task in the platform: its immutable description, its
+//! lifecycle state, the remaining time to its deadline and — when
+//! assigned — which worker holds it and for how long. Provides the
+//! scheduler's view of the unassigned pool and retires tasks whose
+//! deadlines expired while waiting.
+
+use crate::error::CoreError;
+use crate::ids::{TaskId, WorkerId};
+use crate::task::{Task, TaskState};
+use std::collections::HashMap;
+
+/// A tracked task: description + dynamic state.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// The submitted task.
+    pub task: Task,
+    /// Submission timestamp (seconds).
+    pub submitted_at: f64,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// How many times the task has been assigned (1 + reassignments).
+    pub assignment_count: u32,
+}
+
+impl TaskRecord {
+    /// Absolute deadline instant: `submitted_at + deadline`.
+    pub fn deadline_at(&self) -> f64 {
+        self.submitted_at + self.task.deadline
+    }
+
+    /// `remaining_time` until expiry at `now` (negative once past due).
+    pub fn remaining_time(&self, now: f64) -> f64 {
+        self.deadline_at() - now
+    }
+
+    /// `TimeToDeadline_ij` — the window from the current assignment's
+    /// start to the deadline. `None` when unassigned.
+    pub fn time_to_deadline(&self) -> Option<f64> {
+        match self.state {
+            TaskState::Assigned { assigned_at, .. } => Some(self.deadline_at() - assigned_at),
+            _ => None,
+        }
+    }
+
+    /// `t_ij` — seconds since the current assignment started. `None`
+    /// when unassigned.
+    pub fn elapsed_since_assignment(&self, now: f64) -> Option<f64> {
+        match self.state {
+            TaskState::Assigned { assigned_at, .. } => Some((now - assigned_at).max(0.0)),
+            _ => None,
+        }
+    }
+}
+
+/// Registry and lifecycle manager for tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskManagementComponent {
+    tasks: HashMap<TaskId, TaskRecord>,
+    /// Unassigned tasks in submission/recall order (deterministic
+    /// scheduling input).
+    unassigned: Vec<TaskId>,
+}
+
+impl TaskManagementComponent {
+    /// Creates an empty component.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts a new task at time `now`.
+    pub fn submit(&mut self, task: Task, now: f64) -> Result<(), CoreError> {
+        if self.tasks.contains_key(&task.id) {
+            return Err(CoreError::DuplicateTask(task.id));
+        }
+        let id = task.id;
+        self.tasks.insert(
+            id,
+            TaskRecord {
+                task,
+                submitted_at: now,
+                state: TaskState::Unassigned,
+                assignment_count: 0,
+            },
+        );
+        self.unassigned.push(id);
+        Ok(())
+    }
+
+    /// The record for `id`.
+    pub fn record(&self, id: TaskId) -> Result<&TaskRecord, CoreError> {
+        self.tasks.get(&id).ok_or(CoreError::UnknownTask(id))
+    }
+
+    /// Number of tracked tasks (all states).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The unassigned pool, oldest first.
+    pub fn unassigned(&self) -> &[TaskId] {
+        &self.unassigned
+    }
+
+    /// Number of unassigned tasks (the scheduler's batch trigger input).
+    pub fn unassigned_count(&self) -> usize {
+        self.unassigned.len()
+    }
+
+    /// Number of *open* tasks — unassigned plus in-flight. Sec. III-C
+    /// maintains the region graph over this whole set (*"the task set
+    /// changes only when new tasks arrive or executing tasks finish"*),
+    /// which is what the scheduler's compute cost scales with.
+    pub fn open_count(&self) -> usize {
+        self.tasks.values().filter(|r| r.state.is_open()).count()
+    }
+
+    /// All currently assigned task ids with their workers.
+    pub fn assigned(&self) -> Vec<(TaskId, WorkerId)> {
+        let mut v: Vec<(TaskId, WorkerId)> = self
+            .tasks
+            .values()
+            .filter_map(|r| r.state.assigned_worker().map(|w| (r.task.id, w)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Marks `id` assigned to `worker` at `now`.
+    pub fn mark_assigned(
+        &mut self,
+        id: TaskId,
+        worker: WorkerId,
+        now: f64,
+    ) -> Result<(), CoreError> {
+        let rec = self.tasks.get_mut(&id).ok_or(CoreError::UnknownTask(id))?;
+        rec.state = TaskState::Assigned {
+            worker,
+            assigned_at: now,
+        };
+        rec.assignment_count += 1;
+        self.unassigned.retain(|&t| t != id);
+        Ok(())
+    }
+
+    /// Recalls an assigned task back into the unassigned pool (dynamic
+    /// reassignment). Returns the worker it was recalled from.
+    pub fn mark_unassigned(&mut self, id: TaskId) -> Result<WorkerId, CoreError> {
+        let rec = self.tasks.get_mut(&id).ok_or(CoreError::UnknownTask(id))?;
+        match rec.state {
+            TaskState::Assigned { worker, .. } => {
+                rec.state = TaskState::Unassigned;
+                self.unassigned.push(id);
+                Ok(worker)
+            }
+            _ => Err(CoreError::NotAssigned {
+                task: id,
+                worker: WorkerId(u64::MAX),
+            }),
+        }
+    }
+
+    /// Completes `id` at `now` by `worker`. Returns whether the deadline
+    /// was met.
+    pub fn complete(&mut self, id: TaskId, worker: WorkerId, now: f64) -> Result<bool, CoreError> {
+        let rec = self.tasks.get_mut(&id).ok_or(CoreError::UnknownTask(id))?;
+        match rec.state {
+            TaskState::Assigned { worker: w, .. } if w == worker => {
+                let met_deadline = now <= rec.deadline_at();
+                rec.state = TaskState::Completed {
+                    worker,
+                    completed_at: now,
+                    met_deadline,
+                };
+                Ok(met_deadline)
+            }
+            _ => Err(CoreError::NotAssigned { task: id, worker }),
+        }
+    }
+
+    /// Expires every *unassigned* task whose deadline has passed at
+    /// `now` and returns their ids. (The paper's model: an expired task
+    /// leaves the repository; a task already executing may still finish
+    /// late — the soft-deadline semantics.)
+    pub fn expire_overdue_unassigned(&mut self, now: f64) -> Vec<TaskId> {
+        let mut expired = Vec::new();
+        self.unassigned.retain(|&id| {
+            let rec = self.tasks.get_mut(&id).expect("unassigned ids are tracked");
+            if rec.remaining_time(now) <= 0.0 {
+                rec.state = TaskState::Expired;
+                expired.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        expired
+    }
+
+    /// Removes retired (completed/expired) records older than `horizon`
+    /// seconds before `now`, returning how many were pruned. Keeps the
+    /// registry from growing without bound in long simulations.
+    pub fn prune_retired(&mut self, now: f64, horizon: f64) -> usize {
+        let before = self.tasks.len();
+        self.tasks.retain(|_, rec| match rec.state {
+            TaskState::Completed { completed_at, .. } => completed_at + horizon > now,
+            TaskState::Expired => rec.deadline_at() + horizon > now,
+            _ => true,
+        });
+        before - self.tasks.len()
+    }
+
+    /// Iterates over all records (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.tasks.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskCategory;
+    use react_geo::GeoPoint;
+
+    fn task(id: u64, deadline: f64) -> Task {
+        Task::new(
+            TaskId(id),
+            GeoPoint::new(37.98, 23.72),
+            deadline,
+            0.05,
+            TaskCategory(0),
+            "t",
+        )
+    }
+
+    #[test]
+    fn submit_and_duplicate() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        assert_eq!(tm.len(), 1);
+        assert_eq!(tm.unassigned(), &[TaskId(1)]);
+        assert_eq!(
+            tm.submit(task(1, 60.0), 1.0),
+            Err(CoreError::DuplicateTask(TaskId(1)))
+        );
+        assert!(tm.record(TaskId(9)).is_err());
+    }
+
+    #[test]
+    fn assignment_lifecycle() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 10.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(4), 15.0).unwrap();
+        assert_eq!(tm.unassigned_count(), 0);
+        let rec = tm.record(TaskId(1)).unwrap();
+        assert_eq!(rec.assignment_count, 1);
+        assert_eq!(rec.state.assigned_worker(), Some(WorkerId(4)));
+        // TTD = (10+60) − 15 = 55.
+        assert_eq!(rec.time_to_deadline(), Some(55.0));
+        assert_eq!(rec.elapsed_since_assignment(20.0), Some(5.0));
+        assert_eq!(tm.assigned(), vec![(TaskId(1), WorkerId(4))]);
+        // Complete before the deadline.
+        let met = tm.complete(TaskId(1), WorkerId(4), 30.0).unwrap();
+        assert!(met);
+        assert!(matches!(
+            tm.record(TaskId(1)).unwrap().state,
+            TaskState::Completed {
+                met_deadline: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn late_completion_is_recorded_as_missed() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 10.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(1), 1.0).unwrap();
+        let met = tm.complete(TaskId(1), WorkerId(1), 99.0).unwrap();
+        assert!(!met);
+    }
+
+    #[test]
+    fn complete_requires_matching_worker() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(4), 0.0).unwrap();
+        assert!(matches!(
+            tm.complete(TaskId(1), WorkerId(5), 1.0),
+            Err(CoreError::NotAssigned { .. })
+        ));
+    }
+
+    #[test]
+    fn recall_requeues_at_back() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        tm.submit(task(2, 60.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(4), 0.0).unwrap();
+        let from = tm.mark_unassigned(TaskId(1)).unwrap();
+        assert_eq!(from, WorkerId(4));
+        // Task 1 rejoins behind task 2.
+        assert_eq!(tm.unassigned(), &[TaskId(2), TaskId(1)]);
+        // Recalling an unassigned task is an error.
+        assert!(tm.mark_unassigned(TaskId(2)).is_err());
+        // Reassignment bumps the count.
+        tm.mark_assigned(TaskId(1), WorkerId(5), 5.0).unwrap();
+        assert_eq!(tm.record(TaskId(1)).unwrap().assignment_count, 2);
+    }
+
+    #[test]
+    fn expiry_of_unassigned() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 10.0), 0.0).unwrap();
+        tm.submit(task(2, 100.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(2), WorkerId(1), 0.0).unwrap();
+        tm.submit(task(3, 5.0), 0.0).unwrap();
+        let expired = tm.expire_overdue_unassigned(20.0);
+        assert_eq!(expired, vec![TaskId(1), TaskId(3)]);
+        assert!(matches!(
+            tm.record(TaskId(1)).unwrap().state,
+            TaskState::Expired
+        ));
+        // Assigned task 2 untouched (soft deadline).
+        assert!(tm.record(TaskId(2)).unwrap().state.is_open());
+        assert_eq!(tm.unassigned_count(), 0);
+    }
+
+    #[test]
+    fn remaining_time_goes_negative() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 10.0), 5.0).unwrap();
+        let rec = tm.record(TaskId(1)).unwrap();
+        assert_eq!(rec.deadline_at(), 15.0);
+        assert_eq!(rec.remaining_time(12.0), 3.0);
+        assert_eq!(rec.remaining_time(20.0), -5.0);
+        assert_eq!(rec.time_to_deadline(), None);
+        assert_eq!(rec.elapsed_since_assignment(20.0), None);
+    }
+
+    #[test]
+    fn prune_retired_keeps_recent_and_open() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 10.0), 0.0).unwrap();
+        tm.submit(task(2, 10.0), 0.0).unwrap();
+        tm.submit(task(3, 1000.0), 0.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(1), 0.0).unwrap();
+        tm.complete(TaskId(1), WorkerId(1), 5.0).unwrap();
+        tm.expire_overdue_unassigned(50.0); // task 2 expires (task 3 still live)
+        let pruned = tm.prune_retired(1000.0, 100.0);
+        assert_eq!(pruned, 2, "completed task 1 and expired task 2");
+        assert_eq!(tm.len(), 1);
+        assert!(tm.record(TaskId(3)).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Post-hoc analysis of task lifecycle audit logs.
+//!
+//! The paper reports aggregate execution times (Figs. 7–8); the audit
+//! log supports a finer **latency waterfall** per completed task:
+//!
+//! ```text
+//! submission ──queue/matching wait──▶ final assignment ──execution──▶ completion
+//! ```
+//!
+//! [`AuditAnalysis::from_log`] extracts, for every completed task, the
+//! wait before its *final* assignment (including any earlier attempts
+//! that were recalled), the final execution time and the number of
+//! assignment attempts, plus distribution summaries over each.
+
+use react_core::{AuditLog, TaskEventKind, TaskId};
+use react_prob::stats::Summary;
+use std::collections::HashMap;
+
+/// The latency decomposition of one completed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskLatency {
+    /// The task.
+    pub task: TaskId,
+    /// Seconds from submission to the final (successful) assignment —
+    /// queueing + modelled matching latency + failed earlier attempts.
+    pub wait: f64,
+    /// Seconds the final worker executed.
+    pub exec: f64,
+    /// Total submission→completion time (`wait + exec`).
+    pub total: f64,
+    /// Number of assignment attempts (1 = never reassigned).
+    pub attempts: u32,
+    /// Whether the deadline was met.
+    pub met_deadline: bool,
+}
+
+/// Aggregated audit-log analysis.
+#[derive(Debug, Clone)]
+pub struct AuditAnalysis {
+    /// One entry per completed task.
+    pub completed: Vec<TaskLatency>,
+    /// Tasks that expired unassigned.
+    pub expired: usize,
+    /// Distribution of assignment attempts per completed task, indexed
+    /// by attempt count (index 0 unused).
+    pub attempts_histogram: Vec<usize>,
+}
+
+impl AuditAnalysis {
+    /// Builds the analysis from an audit log. Tasks still open at the
+    /// end of the log are ignored.
+    pub fn from_log(log: &AuditLog) -> Self {
+        #[derive(Default)]
+        struct Track {
+            submitted_at: Option<f64>,
+            last_assigned_at: Option<f64>,
+            attempts: u32,
+        }
+        let mut tracks: HashMap<TaskId, Track> = HashMap::new();
+        let mut completed = Vec::new();
+        let mut expired = 0usize;
+        for e in log.events() {
+            let track = tracks.entry(e.task).or_default();
+            match e.kind {
+                TaskEventKind::Submitted => track.submitted_at = Some(e.at),
+                TaskEventKind::Assigned { .. } => {
+                    track.attempts += 1;
+                    track.last_assigned_at = Some(e.at);
+                }
+                TaskEventKind::Recalled { .. } => track.last_assigned_at = None,
+                TaskEventKind::Expired => expired += 1,
+                TaskEventKind::Completed { met_deadline, .. } => {
+                    let (Some(t0), Some(ta)) = (track.submitted_at, track.last_assigned_at) else {
+                        continue; // malformed prefix: skip defensively
+                    };
+                    completed.push(TaskLatency {
+                        task: e.task,
+                        wait: (ta - t0).max(0.0),
+                        exec: (e.at - ta).max(0.0),
+                        total: (e.at - t0).max(0.0),
+                        attempts: track.attempts,
+                        met_deadline,
+                    });
+                }
+            }
+        }
+        let max_attempts = completed.iter().map(|t| t.attempts).max().unwrap_or(0);
+        let mut attempts_histogram = vec![0usize; max_attempts as usize + 1];
+        for t in &completed {
+            attempts_histogram[t.attempts as usize] += 1;
+        }
+        AuditAnalysis {
+            completed,
+            expired,
+            attempts_histogram,
+        }
+    }
+
+    /// Summary of the wait component (`None` when nothing completed).
+    pub fn wait_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.completed.iter().map(|t| t.wait).collect::<Vec<_>>())
+    }
+
+    /// Summary of the execution component.
+    pub fn exec_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.completed.iter().map(|t| t.exec).collect::<Vec<_>>())
+    }
+
+    /// Summary of the total latency.
+    pub fn total_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.completed.iter().map(|t| t.total).collect::<Vec<_>>())
+    }
+
+    /// Fraction of completed tasks that needed more than one attempt.
+    pub fn reassigned_fraction(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().filter(|t| t.attempts > 1).count() as f64
+            / self.completed.len() as f64
+    }
+
+    /// CSV rows (header first) with one line per completed task.
+    pub fn to_csv_rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![vec![
+            "task".to_string(),
+            "wait_s".to_string(),
+            "exec_s".to_string(),
+            "total_s".to_string(),
+            "attempts".to_string(),
+            "met_deadline".to_string(),
+        ]];
+        for t in &self.completed {
+            rows.push(vec![
+                t.task.0.to_string(),
+                format!("{:.3}", t.wait),
+                format!("{:.3}", t.exec),
+                format!("{:.3}", t.total),
+                t.attempts.to_string(),
+                t.met_deadline.to_string(),
+            ]);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ScenarioRunner;
+    use crate::scenario::Scenario;
+    use react_core::{MatcherPolicy, WorkerId};
+
+    fn synthetic_log() -> AuditLog {
+        let mut log = AuditLog::new();
+        let w1 = WorkerId(1);
+        let w2 = WorkerId(2);
+        // Task 1: straight through.
+        log.push(0.0, TaskId(1), TaskEventKind::Submitted);
+        log.push(2.0, TaskId(1), TaskEventKind::Assigned { worker: w1 });
+        log.push(
+            7.0,
+            TaskId(1),
+            TaskEventKind::Completed {
+                worker: w1,
+                met_deadline: true,
+            },
+        );
+        // Task 2: one recall, completes late.
+        log.push(1.0, TaskId(2), TaskEventKind::Submitted);
+        log.push(3.0, TaskId(2), TaskEventKind::Assigned { worker: w1 });
+        log.push(40.0, TaskId(2), TaskEventKind::Recalled { worker: w1 });
+        log.push(41.0, TaskId(2), TaskEventKind::Assigned { worker: w2 });
+        log.push(
+            50.0,
+            TaskId(2),
+            TaskEventKind::Completed {
+                worker: w2,
+                met_deadline: false,
+            },
+        );
+        // Task 3: expires.
+        log.push(5.0, TaskId(3), TaskEventKind::Submitted);
+        log.push(70.0, TaskId(3), TaskEventKind::Expired);
+        log
+    }
+
+    #[test]
+    fn waterfall_decomposition() {
+        let a = AuditAnalysis::from_log(&synthetic_log());
+        assert_eq!(a.completed.len(), 2);
+        assert_eq!(a.expired, 1);
+        let t1 = a.completed.iter().find(|t| t.task == TaskId(1)).unwrap();
+        assert_eq!((t1.wait, t1.exec, t1.total), (2.0, 5.0, 7.0));
+        assert_eq!(t1.attempts, 1);
+        assert!(t1.met_deadline);
+        let t2 = a.completed.iter().find(|t| t.task == TaskId(2)).unwrap();
+        assert_eq!((t2.wait, t2.exec, t2.total), (40.0, 9.0, 49.0));
+        assert_eq!(t2.attempts, 2);
+        assert!(!t2.met_deadline);
+        // wait + exec = total for every task.
+        for t in &a.completed {
+            assert!((t.wait + t.exec - t.total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_and_fractions() {
+        let a = AuditAnalysis::from_log(&synthetic_log());
+        assert_eq!(a.attempts_histogram, vec![0, 1, 1]);
+        assert!((a.reassigned_fraction() - 0.5).abs() < 1e-12);
+        let wait = a.wait_summary().unwrap();
+        assert_eq!(wait.min, 2.0);
+        assert_eq!(wait.max, 40.0);
+        assert!(a.exec_summary().is_some());
+        assert!(a.total_summary().is_some());
+    }
+
+    #[test]
+    fn empty_log() {
+        let a = AuditAnalysis::from_log(&AuditLog::new());
+        assert!(a.completed.is_empty());
+        assert_eq!(a.expired, 0);
+        assert_eq!(a.reassigned_fraction(), 0.0);
+        assert!(a.wait_summary().is_none());
+        assert_eq!(a.to_csv_rows().len(), 1, "header only");
+    }
+
+    #[test]
+    fn csv_rows_shape() {
+        let a = AuditAnalysis::from_log(&synthetic_log());
+        let rows = a.to_csv_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], "task");
+        assert_eq!(rows[1].len(), 6);
+    }
+
+    #[test]
+    fn agrees_with_run_report_on_a_real_run() {
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 300 }, 9);
+        sc.config.audit = true;
+        let r = ScenarioRunner::new(sc).run();
+        let a = AuditAnalysis::from_log(r.audit.as_ref().unwrap());
+        assert_eq!(a.completed.len() as u64, r.completed);
+        let met = a.completed.iter().filter(|t| t.met_deadline).count() as u64;
+        assert_eq!(met, r.met_deadline);
+        // The analysis's mean total matches the report's (same data).
+        let total = a.total_summary().unwrap();
+        assert!((total.mean - r.avg_total_time()).abs() < 1e-6);
+        // Mean exec differs only by the pre-assignment component.
+        assert!(total.mean >= a.exec_summary().unwrap().mean - 1e-9);
+    }
+}

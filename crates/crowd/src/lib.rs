@@ -1,0 +1,40 @@
+//! Crowd behaviour models, workload generation and the end-to-end
+//! simulation runner for the REACT experiments.
+//!
+//! The paper could not obtain real AMT workloads (*"the systems do not
+//! allow us to control the task assignment"*), so its evaluation runs a
+//! synthetic crowd **parameterised by a CrowdFlower case study** (Sec.
+//! V-C). This crate implements that synthetic crowd:
+//!
+//! * [`WorkerBehavior`] / [`generate_population`] — each worker gets a
+//!   personal service-time range inside 1–20 s, a 50 % chance per task to
+//!   delay/abandon (stretching execution up to 130 s), and an intrinsic
+//!   feedback quality distributed so that 70 % of workers exceed 0.5.
+//! * [`TaskGenerator`] — Poisson task arrivals at a configurable rate
+//!   with deadlines uniform in 60–120 s, random locations and categories.
+//! * [`Scenario`] — named parameter sets for every figure (Fig. 5's
+//!   750 workers @ 9.375 tasks/s, Fig. 9's size/rate sweep…).
+//! * [`ScenarioRunner`] — wires a [`react_core::ReactServer`] into the
+//!   `react-sim` discrete-event loop and produces a [`RunReport`] with
+//!   the exact series the paper plots.
+//! * [`casestudy`] — a synthesizer reproducing the shape of the raw
+//!   CrowdFlower observations (half the responses within 20 s, a tail of
+//!   hours, 70 % of workers trusted above 50 %).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod behavior;
+pub mod casestudy;
+pub mod generator;
+pub mod multiregion;
+pub mod runner;
+pub mod scenario;
+
+pub use analysis::{AuditAnalysis, TaskLatency};
+pub use behavior::{generate_population, BehaviorParams, ExecModel, LatencyModel, WorkerBehavior};
+pub use casestudy::{CaseStudySummary, CaseStudyTrace};
+pub use generator::TaskGenerator;
+pub use multiregion::{MultiRegionReport, MultiRegionRunner, MultiRegionScenario};
+pub use runner::{RunReport, ScenarioRunner};
+pub use scenario::{ChurnParams, Scenario};

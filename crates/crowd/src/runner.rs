@@ -1,0 +1,676 @@
+//! The end-to-end discrete-event experiment runner.
+//!
+//! Wires a [`ReactServer`] to the `react-sim` kernel and a synthetic
+//! crowd, producing the exact data series the paper plots:
+//!
+//! * Fig. 5 — cumulative tasks finished before their deadline vs tasks
+//!   received ([`RunReport::series_met`]);
+//! * Fig. 6 — cumulative positive feedbacks ([`RunReport::series_positive`]);
+//! * Fig. 7 — final-worker execution times ([`RunReport::exec_times`]);
+//! * Fig. 8 — total times including assignment/queueing
+//!   ([`RunReport::total_times`]);
+//! * Figs. 9/10 — the ratios, via the same report across a sweep.
+//!
+//! Event model: task arrivals (Poisson), middleware control ticks (fixed
+//! interval — expiry sweep, Eq. 2 recalls, batch matching), and worker
+//! finish events. A recall invalidates the worker's pending finish event
+//! through a per-task epoch counter.
+
+use crate::behavior::{generate_population, WorkerBehavior};
+use crate::generator::TaskGenerator;
+use crate::scenario::Scenario;
+use react_core::{AuditLog, ReactServer, Task, TaskId, WorkerId};
+use react_metrics::TimeSeries;
+use react_prob::distributions::{Exponential, UniformRange};
+use react_sim::{RngStreams, SimDuration, SimTime, Simulator};
+use std::collections::HashMap;
+
+/// Events driving the simulation.
+#[derive(Debug)]
+enum Event {
+    /// A requester submits a task.
+    Arrival(Task),
+    /// Periodic middleware control step.
+    Tick,
+    /// A worker finishes executing a task (valid only when the task's
+    /// epoch still matches — recalls bump it).
+    Finish {
+        task: TaskId,
+        worker: WorkerId,
+        epoch: u32,
+    },
+    /// A worker's connectivity drops (churn): any held task is recalled.
+    WorkerOffline(WorkerId),
+    /// A churned worker reconnects.
+    WorkerOnline(WorkerId),
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario label.
+    pub label: String,
+    /// The matcher that ran ("react", "greedy", "traditional", …).
+    pub matcher_name: &'static str,
+    /// Tasks that arrived.
+    pub received: u64,
+    /// Tasks that completed (before or after their deadline).
+    pub completed: u64,
+    /// Tasks completed before their deadline (Fig. 5's y-axis).
+    pub met_deadline: u64,
+    /// Positive feedbacks earned (Fig. 6's y-axis).
+    pub positive_feedback: u64,
+    /// Tasks that expired while unassigned.
+    pub expired_unassigned: u64,
+    /// Eq. (2) recalls performed.
+    pub reassignments: u64,
+    /// Worker offline (churn) events.
+    pub churn_events: u64,
+    /// Matching batches run.
+    pub batches: u64,
+    /// Total modelled scheduler compute time (seconds).
+    pub total_matching_seconds: f64,
+    /// Cumulative (tasks received → deadlines met) curve.
+    pub series_met: TimeSeries,
+    /// Cumulative (tasks received → positive feedbacks) curve.
+    pub series_positive: TimeSeries,
+    /// `ExecTime` of the final worker per completed task (Fig. 7).
+    pub exec_times: Vec<f64>,
+    /// Submission→completion time per completed task (Fig. 8).
+    pub total_times: Vec<f64>,
+    /// Simulated duration (seconds).
+    pub sim_duration: f64,
+    /// The task lifecycle audit log, when `config.audit` was enabled.
+    pub audit: Option<AuditLog>,
+    /// Replication factor of the run (1 = the paper's setting).
+    pub replication: usize,
+    /// Logical task groups (= received / replication).
+    pub groups: u64,
+    /// Groups where a strict majority of replicas earned positive
+    /// feedback (the voting scheme's success criterion; needs
+    /// per-replica success above ½ to help).
+    pub groups_majority_positive: u64,
+    /// Groups where at least one replica earned positive feedback (the
+    /// best-answer redundancy criterion).
+    pub groups_any_positive: u64,
+    /// Groups where at least one replica met the deadline.
+    pub groups_any_met: u64,
+}
+
+impl RunReport {
+    /// Fraction of logical groups whose majority vote was positive —
+    /// the accuracy metric of replication schemes. With `replication`
+    /// = 1 this equals [`RunReport::positive_ratio`].
+    pub fn group_accuracy(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.groups_majority_positive as f64 / self.groups as f64
+        }
+    }
+
+    /// Payments made: one per completed replica (AMT pays on
+    /// completion) — the cost metric replication multiplies.
+    pub fn payments(&self) -> u64 {
+        self.completed
+    }
+
+    /// Fraction of received tasks that met their deadline.
+    pub fn deadline_ratio(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.met_deadline as f64 / self.received as f64
+        }
+    }
+
+    /// Fraction of received tasks that earned positive feedback.
+    pub fn positive_ratio(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.positive_feedback as f64 / self.received as f64
+        }
+    }
+
+    /// Mean final-worker execution time (Fig. 7's bar).
+    pub fn avg_exec_time(&self) -> f64 {
+        mean(&self.exec_times)
+    }
+
+    /// Mean total time including assignment (Fig. 8's bar).
+    pub fn avg_total_time(&self) -> f64 {
+        mean(&self.total_times)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Where arrivals come from: a preset (already generated) stream or a
+/// live Poisson generator.
+enum Workload {
+    Preset(std::vec::IntoIter<(f64, Task)>),
+    Poisson(TaskGenerator),
+}
+
+impl Workload {
+    fn next(&mut self, rng: &mut rand::rngs::SmallRng) -> Option<(f64, Task)> {
+        match self {
+            Workload::Preset(iter) => iter.next(),
+            Workload::Poisson(generator) => Some(generator.next(rng)),
+        }
+    }
+}
+
+/// Runs one [`Scenario`] to completion.
+pub struct ScenarioRunner {
+    scenario: Scenario,
+}
+
+impl ScenarioRunner {
+    /// Creates a runner for the scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioRunner { scenario }
+    }
+
+    /// Executes the simulation and returns the report.
+    pub fn run(&self) -> RunReport {
+        let sc = &self.scenario;
+        let streams = RngStreams::new(sc.seed);
+        let mut pop_rng = streams.stream("population");
+        let mut workload_rng = streams.stream("workload");
+        let mut behavior_rng = streams.stream("behavior");
+
+        // Crowd.
+        let behaviors: Vec<WorkerBehavior> =
+            generate_population(sc.n_workers, &sc.behavior, &mut pop_rng);
+        let mut server = ReactServer::new(sc.config.clone(), sc.seed ^ 0x5eed);
+        for (i, _) in behaviors.iter().enumerate() {
+            server.register_worker(WorkerId(i as u64), sc.region.random_point(&mut pop_rng));
+        }
+
+        // Workload: preset replay or live Poisson generation.
+        let (mut workload, total_tasks) = match &sc.workload {
+            Some(preset) => (Workload::Preset(preset.clone().into_iter()), preset.len()),
+            None => (
+                Workload::Poisson(
+                    TaskGenerator::new(sc.arrival_rate, sc.region)
+                        .with_deadline_range(sc.deadline_range.0, sc.deadline_range.1)
+                        .with_categories(sc.n_categories),
+                ),
+                sc.total_tasks,
+            ),
+        };
+
+        let mut sim: Simulator<Event> = Simulator::new();
+        let mut report = RunReport {
+            label: sc.label.clone(),
+            matcher_name: sc.config.matcher.name(),
+            received: 0,
+            completed: 0,
+            met_deadline: 0,
+            positive_feedback: 0,
+            expired_unassigned: 0,
+            reassignments: 0,
+            churn_events: 0,
+            batches: 0,
+            total_matching_seconds: 0.0,
+            series_met: TimeSeries::new("met_deadline"),
+            series_positive: TimeSeries::new("positive_feedback"),
+            exec_times: Vec::new(),
+            total_times: Vec::new(),
+            sim_duration: 0.0,
+            audit: None,
+            replication: sc.replication.max(1),
+            groups: 0,
+            groups_majority_positive: 0,
+            groups_any_positive: 0,
+            groups_any_met: 0,
+        };
+        let mut epochs: HashMap<TaskId, u32> = HashMap::new();
+        // Replica bookkeeping: group id → (resolved, positive, met).
+        let k = sc.replication.max(1);
+        let mut group_state: HashMap<u64, (usize, usize, bool)> = HashMap::new();
+        // Per-worker FIFO release time. Availability-aware policies never
+        // double-book a worker, but the Traditional policy assigns
+        // blindly: later tasks queue behind the worker's current one.
+        let mut next_free: Vec<f64> = vec![0.0; sc.n_workers];
+        let mut last_arrival_at = 0.0f64;
+
+        // Prime the event loop. With replication, each logical task is
+        // expanded into k replica Tasks sharing a group id.
+        let expand = |task: Task, k: usize| -> Vec<Task> {
+            if k <= 1 {
+                return vec![task];
+            }
+            (0..k as u64)
+                .map(|j| {
+                    Task::new(
+                        TaskId(task.id.0 * k as u64 + j),
+                        task.location,
+                        task.deadline,
+                        task.reward,
+                        task.category,
+                        task.description.clone(),
+                    )
+                })
+                .collect()
+        };
+        let mut logical_generated = 0usize;
+        if total_tasks > 0 {
+            if let Some((at, task)) = workload.next(&mut workload_rng) {
+                logical_generated += 1;
+                for replica in expand(task, k) {
+                    sim.schedule_at(SimTime::from_secs(at), Event::Arrival(replica));
+                }
+            }
+        }
+        sim.schedule_in(SimDuration::from_secs(sc.tick_interval), Event::Tick);
+        let mut churn_rng = streams.stream("churn");
+        if let Some(churn) = sc.churn {
+            let online = Exponential::with_mean(churn.mean_online);
+            for w in 0..sc.n_workers {
+                sim.schedule_in(
+                    SimDuration::from_secs(online.sample(&mut churn_rng)),
+                    Event::WorkerOffline(WorkerId(w as u64)),
+                );
+            }
+        }
+
+        while let Some((at, event)) = sim.next_event() {
+            let now = at.as_secs();
+            match event {
+                Event::Arrival(task) => {
+                    report.received += 1;
+                    last_arrival_at = now;
+                    let task_group_index = task.id.0 % k as u64;
+                    server.submit_task(task, now);
+                    // Only the group's first replica triggers generation
+                    // of the next logical task (all k replicas arrive as
+                    // Arrival events; re-triggering on each would fan
+                    // out exponentially).
+                    let first_replica = k == 1 || task_group_index == 0;
+                    if first_replica && logical_generated < total_tasks {
+                        if let Some((next_at, next_task)) = workload.next(&mut workload_rng) {
+                            logical_generated += 1;
+                            for replica in expand(next_task, k) {
+                                sim.schedule_at(
+                                    SimTime::from_secs(next_at),
+                                    Event::Arrival(replica),
+                                );
+                            }
+                        }
+                    }
+                    // Arrival doubles as a control step so the batch
+                    // trigger reacts to queue growth immediately.
+                    Self::control_step(
+                        &mut server,
+                        now,
+                        &behaviors,
+                        &mut behavior_rng,
+                        &mut epochs,
+                        &mut next_free,
+                        &mut sim,
+                        &mut report,
+                    );
+                }
+                Event::Tick => {
+                    Self::control_step(
+                        &mut server,
+                        now,
+                        &behaviors,
+                        &mut behavior_rng,
+                        &mut epochs,
+                        &mut next_free,
+                        &mut sim,
+                        &mut report,
+                    );
+                    let workload_done = report.received as usize >= total_tasks * k;
+                    let tasks_open = server.tasks().unassigned_count() > 0
+                        || !server.tasks().assigned().is_empty();
+                    let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
+                    if (!workload_done || tasks_open) && !past_horizon {
+                        sim.schedule_in(SimDuration::from_secs(sc.tick_interval), Event::Tick);
+                    }
+                }
+                Event::WorkerOffline(worker) => {
+                    report.churn_events += 1;
+                    for task in server.worker_offline(worker, now) {
+                        *epochs.entry(task).or_insert(0) += 1;
+                    }
+                    next_free[worker.0 as usize] = now;
+                    if let Some(churn) = sc.churn {
+                        let off = UniformRange::new(churn.offline_range.0, churn.offline_range.1);
+                        sim.schedule_in(
+                            SimDuration::from_secs(off.sample(&mut churn_rng).max(0.001)),
+                            Event::WorkerOnline(worker),
+                        );
+                    }
+                }
+                Event::WorkerOnline(worker) => {
+                    let _ = server.worker_online(worker);
+                    // Schedule the next departure only while the run is
+                    // still live, so the event queue can drain.
+                    let workload_done = report.received as usize >= total_tasks * k;
+                    let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
+                    if let (Some(churn), false) = (sc.churn, past_horizon) {
+                        let online = Exponential::with_mean(churn.mean_online);
+                        sim.schedule_in(
+                            SimDuration::from_secs(online.sample(&mut churn_rng)),
+                            Event::WorkerOffline(worker),
+                        );
+                    }
+                }
+                Event::Finish {
+                    task,
+                    worker,
+                    epoch,
+                } => {
+                    // Stale finish events (the task was recalled) are
+                    // dropped: the worker was already freed at recall.
+                    if epochs.get(&task).copied() != Some(epoch) {
+                        continue;
+                    }
+                    let behavior = &behaviors[worker.0 as usize];
+                    let quality_ok = behavior.sample_quality_ok(&mut behavior_rng);
+                    let submitted_at = server
+                        .tasks()
+                        .record(task)
+                        .expect("finishing task is tracked")
+                        .submitted_at;
+                    let outcome = server
+                        .complete_task(task, worker, now, quality_ok)
+                        .expect("valid-epoch finish events match the assignment");
+                    report.completed += 1;
+                    if outcome.met_deadline {
+                        report.met_deadline += 1;
+                    }
+                    if outcome.positive_feedback {
+                        report.positive_feedback += 1;
+                    }
+                    report
+                        .series_met
+                        .push(report.received as f64, report.met_deadline as f64);
+                    report
+                        .series_positive
+                        .push(report.received as f64, report.positive_feedback as f64);
+                    report.exec_times.push(outcome.exec_time);
+                    report.total_times.push(now - submitted_at);
+                    let group = task.0 / k as u64;
+                    let entry = group_state.entry(group).or_insert((0, 0, false));
+                    entry.0 += 1;
+                    if outcome.positive_feedback {
+                        entry.1 += 1;
+                    }
+                    if outcome.met_deadline {
+                        entry.2 = true;
+                    }
+                }
+            }
+            report.sim_duration = now;
+        }
+
+        report.batches = server.batches_run();
+        report.total_matching_seconds = server.total_matching_seconds();
+        report.audit = server.audit().cloned();
+        report.groups = report.received.div_ceil(k as u64);
+        for (_, (_resolved, positives, any_met)) in group_state {
+            if positives * 2 > k {
+                report.groups_majority_positive += 1;
+            }
+            if positives > 0 {
+                report.groups_any_positive += 1;
+            }
+            if any_met {
+                report.groups_any_met += 1;
+            }
+        }
+        // Anything still open at the horizon is a miss that never even
+        // completed; count queued leftovers as expired-unassigned.
+        report.expired_unassigned += server.tasks().unassigned_count() as u64;
+        report
+    }
+
+    /// Runs `server.tick(now)` and applies the outcome to the event
+    /// queue: recalls invalidate pending finishes, fresh assignments
+    /// schedule them.
+    #[allow(clippy::too_many_arguments)]
+    fn control_step(
+        server: &mut ReactServer,
+        now: f64,
+        behaviors: &[WorkerBehavior],
+        behavior_rng: &mut rand::rngs::SmallRng,
+        epochs: &mut HashMap<TaskId, u32>,
+        next_free: &mut [f64],
+        sim: &mut Simulator<Event>,
+        report: &mut RunReport,
+    ) {
+        let outcome = server.tick(now);
+        report.expired_unassigned += outcome.expired.len() as u64;
+        for recall in &outcome.recalls {
+            *epochs.entry(recall.task).or_insert(0) += 1;
+            report.reassignments += 1;
+            // The worker stops working on the recalled task immediately.
+            next_free[recall.worker.0 as usize] = now;
+        }
+        for &(worker, task) in &outcome.assignments {
+            let epoch = {
+                let e = epochs.entry(task).or_insert(0);
+                *e += 1;
+                *e
+            };
+            // Availability-aware policies hand work to idle workers, so
+            // `start == effective_at`; the Traditional policy may queue
+            // the task behind the worker's current one.
+            let w = worker.0 as usize;
+            let start = outcome.effective_at.max(next_free[w]);
+            let exec_time = behaviors[w].sample_exec_time(behavior_rng);
+            next_free[w] = start + exec_time;
+            sim.schedule_at(
+                SimTime::from_secs(start + exec_time),
+                Event::Finish {
+                    task,
+                    worker,
+                    epoch,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use react_core::MatcherPolicy;
+
+    fn run(matcher: MatcherPolicy, seed: u64) -> RunReport {
+        ScenarioRunner::new(Scenario::smoke(matcher, seed)).run()
+    }
+
+    #[test]
+    fn smoke_run_accounts_for_every_task() {
+        let r = run(MatcherPolicy::React { cycles: 200 }, 1);
+        assert_eq!(r.received, 120);
+        assert!(r.completed + r.expired_unassigned <= 120 + r.reassignments);
+        assert!(r.completed > 0, "some tasks must complete");
+        assert!(r.met_deadline <= r.completed);
+        assert!(r.positive_feedback <= r.met_deadline);
+        assert_eq!(r.matcher_name, "react");
+        assert!(r.sim_duration > 0.0);
+        assert!(r.batches > 0);
+    }
+
+    #[test]
+    fn series_are_cumulative_and_bounded() {
+        let r = run(MatcherPolicy::React { cycles: 200 }, 2);
+        let pts = r.series_met.points();
+        assert!(!pts.is_empty());
+        let mut last_y = 0.0;
+        for &(x, y) in pts {
+            assert!(y >= last_y, "cumulative curve must not decrease");
+            assert!(y <= x, "cannot meet more deadlines than tasks received");
+            last_y = y;
+        }
+        assert_eq!(r.series_met.last().unwrap().1, r.met_deadline as f64);
+        assert_eq!(
+            r.series_positive.last().unwrap().1,
+            r.positive_feedback as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_seeds() {
+        let a = run(MatcherPolicy::React { cycles: 200 }, 7);
+        let b = run(MatcherPolicy::React { cycles: 200 }, 7);
+        assert_eq!(a.met_deadline, b.met_deadline);
+        assert_eq!(a.positive_feedback, b.positive_feedback);
+        assert_eq!(a.exec_times, b.exec_times);
+        let c = run(MatcherPolicy::React { cycles: 200 }, 8);
+        // Not a strict requirement, but astronomically unlikely to match.
+        assert!(
+            a.met_deadline != c.met_deadline || a.exec_times != c.exec_times,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn traditional_never_reassigns() {
+        let r = run(MatcherPolicy::Traditional, 3);
+        assert_eq!(r.reassignments, 0);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn react_reassigns_stalled_tasks() {
+        // With 50 % of executions stretching toward 130 s against 60–120 s
+        // deadlines, the Eq. (2) model must fire at least sometimes.
+        let r = run(MatcherPolicy::React { cycles: 200 }, 4);
+        assert!(
+            r.reassignments > 0,
+            "expected recalls under the paper's delay model"
+        );
+    }
+
+    #[test]
+    fn replication_expands_and_votes() {
+        let mut sc = Scenario::smoke(MatcherPolicy::Traditional, 12);
+        sc.total_tasks = 60;
+        sc.replication = 3;
+        let r = ScenarioRunner::new(sc).run();
+        assert_eq!(r.replication, 3);
+        assert_eq!(r.received, 180, "60 logical tasks × 3 replicas");
+        assert_eq!(r.groups, 60);
+        assert!(r.groups_majority_positive <= r.groups);
+        assert!(r.groups_any_met <= r.groups);
+        assert!(r.groups_any_met > 0);
+        // Conservation still holds per replica.
+        assert_eq!(r.completed + r.expired_unassigned, r.received);
+        assert_eq!(r.payments(), r.completed);
+    }
+
+    #[test]
+    fn replication_one_matches_positive_ratio() {
+        let r = run(MatcherPolicy::React { cycles: 200 }, 13);
+        assert_eq!(r.replication, 1);
+        assert_eq!(r.groups, r.received);
+        assert_eq!(r.groups_majority_positive, r.positive_feedback);
+        assert!((r.group_accuracy() - r.positive_ratio()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_raises_best_answer_rate_at_higher_cost() {
+        // The CDAS-style trade under the Traditional policy: asking 3
+        // workers and keeping the best answer succeeds far more often
+        // than asking one — at ≈3× the payments. (Strict majority voting
+        // only helps once per-replica success exceeds ½, which blind
+        // traditional assignment does not reach; both metrics are
+        // reported.)
+        let mut base = Scenario::smoke(MatcherPolicy::Traditional, 14);
+        base.total_tasks = 80;
+        base.n_workers = 150;
+        base.arrival_rate = 1.0;
+        let single = ScenarioRunner::new(base.clone()).run();
+        let mut replicated = base;
+        replicated.replication = 3;
+        let triple = ScenarioRunner::new(replicated).run();
+        let single_rate = single.groups_any_positive as f64 / single.groups as f64;
+        let triple_rate = triple.groups_any_positive as f64 / triple.groups as f64;
+        assert!(
+            triple_rate > single_rate,
+            "best-answer redundancy must raise success: {triple_rate:.2} vs {single_rate:.2}"
+        );
+        assert!(
+            triple.payments() > single.payments() * 2,
+            "redundancy costs ≈3×: {} vs {}",
+            triple.payments(),
+            single.payments()
+        );
+    }
+
+    #[test]
+    fn churn_recalls_tasks_and_still_terminates() {
+        use crate::scenario::ChurnParams;
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 6);
+        sc.churn = Some(ChurnParams {
+            mean_online: 30.0,
+            offline_range: (5.0, 20.0),
+        });
+        let r = ScenarioRunner::new(sc).run();
+        assert_eq!(r.received, 120);
+        assert!(r.churn_events > 0, "churn must actually fire");
+        assert_eq!(
+            r.completed + r.expired_unassigned,
+            r.received,
+            "tasks conserved under churn: {r:?}"
+        );
+        // Stable crowd for comparison: no churn events.
+        let stable = run(MatcherPolicy::React { cycles: 200 }, 6);
+        assert_eq!(stable.churn_events, 0);
+    }
+
+    #[test]
+    fn heavy_churn_degrades_but_never_breaks() {
+        use crate::scenario::ChurnParams;
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 7);
+        sc.churn = Some(ChurnParams {
+            mean_online: 5.0,
+            offline_range: (30.0, 60.0),
+        });
+        let r = ScenarioRunner::new(sc).run();
+        assert_eq!(r.completed + r.expired_unassigned, r.received);
+        // With most of the crowd offline most of the time, some tasks
+        // must fail to find a worker in time.
+        assert!(
+            r.expired_unassigned > 0,
+            "extreme churn should cause queue expiries"
+        );
+    }
+
+    #[test]
+    fn ratios_and_averages_consistent() {
+        let r = run(MatcherPolicy::React { cycles: 200 }, 5);
+        assert!((0.0..=1.0).contains(&r.deadline_ratio()));
+        assert!((0.0..=1.0).contains(&r.positive_ratio()));
+        assert!(r.positive_ratio() <= r.deadline_ratio() + 1e-9);
+        if r.completed > 0 {
+            assert!(r.avg_exec_time() > 0.0);
+            // Total time includes queueing + assignment latency.
+            assert!(r.avg_total_time() >= r.avg_exec_time() * 0.9);
+        }
+        // Empty-report edge cases.
+        let empty = RunReport {
+            exec_times: vec![],
+            total_times: vec![],
+            received: 0,
+            ..r
+        };
+        assert_eq!(empty.deadline_ratio(), 0.0);
+        assert_eq!(empty.avg_exec_time(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Non-overlapping grid decomposition of a bounding box.
+
+use crate::coords::GeoPoint;
+use crate::region::BoundingBox;
+
+/// Identifier of a region within a [`RegionGrid`] (row-major index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "region#{}", self.0)
+    }
+}
+
+/// A `rows × cols` partition of a bounding box into equal half-open cells.
+///
+/// This is the paper's Sec. III-A decomposition: each cell is the
+/// responsibility of one REACT server, and point→cell lookup is O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGrid {
+    area: BoundingBox,
+    rows: u32,
+    cols: u32,
+}
+
+impl RegionGrid {
+    /// Creates the grid. Returns `None` when `rows` or `cols` is zero.
+    pub fn new(area: BoundingBox, rows: u32, cols: u32) -> Option<Self> {
+        if rows == 0 || cols == 0 {
+            return None;
+        }
+        Some(RegionGrid { area, rows, cols })
+    }
+
+    /// The covered area.
+    pub fn area(&self) -> &BoundingBox {
+        &self.area
+    }
+
+    /// Number of rows (latitude bands).
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns (longitude bands).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Total number of regions.
+    pub fn len(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    /// Always false — a grid has ≥ 1 cell by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a point to the region containing it; `None` for points
+    /// outside the covered area.
+    pub fn locate(&self, p: &GeoPoint) -> Option<RegionId> {
+        if !self.area.contains(p) {
+            return None;
+        }
+        let row_f = (p.lat() - self.area.lat_min()) / self.area.lat_span() * self.rows as f64;
+        let col_f = (p.lon() - self.area.lon_min()) / self.area.lon_span() * self.cols as f64;
+        // contains() guarantees 0 ≤ row_f < rows, but clamp against float
+        // round-off at the extreme edge.
+        let row = (row_f as u32).min(self.rows - 1);
+        let col = (col_f as u32).min(self.cols - 1);
+        Some(RegionId(row * self.cols + col))
+    }
+
+    /// The bounding box of a region id; `None` for out-of-range ids.
+    pub fn cell(&self, id: RegionId) -> Option<BoundingBox> {
+        if id.0 >= self.rows * self.cols {
+            return None;
+        }
+        let row = id.0 / self.cols;
+        let col = id.0 % self.cols;
+        let lat_w = self.area.lat_span() / self.rows as f64;
+        let lon_w = self.area.lon_span() / self.cols as f64;
+        BoundingBox::new(
+            self.area.lat_min() + row as f64 * lat_w,
+            self.area.lat_min() + (row + 1) as f64 * lat_w,
+            self.area.lon_min() + col as f64 * lon_w,
+            self.area.lon_min() + (col + 1) as f64 * lon_w,
+        )
+    }
+
+    /// Iterates over all region ids in row-major order.
+    pub fn region_ids(&self) -> impl Iterator<Item = RegionId> {
+        (0..self.rows * self.cols).map(RegionId)
+    }
+
+    /// The regions orthogonally adjacent to `id` (used when a server
+    /// borrows workers from neighbours — an extension hook).
+    pub fn neighbors(&self, id: RegionId) -> Vec<RegionId> {
+        if id.0 >= self.rows * self.cols {
+            return Vec::new();
+        }
+        let row = id.0 / self.cols;
+        let col = id.0 % self.cols;
+        let mut out = Vec::with_capacity(4);
+        if row > 0 {
+            out.push(RegionId(id.0 - self.cols));
+        }
+        if row + 1 < self.rows {
+            out.push(RegionId(id.0 + self.cols));
+        }
+        if col > 0 {
+            out.push(RegionId(id.0 - 1));
+        }
+        if col + 1 < self.cols {
+            out.push(RegionId(id.0 + 1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid() -> RegionGrid {
+        let area = BoundingBox::new(0.0, 4.0, 0.0, 8.0).unwrap();
+        RegionGrid::new(area, 2, 4).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        let area = BoundingBox::new(0.0, 1.0, 0.0, 1.0).unwrap();
+        assert!(RegionGrid::new(area, 0, 3).is_none());
+        assert!(RegionGrid::new(area, 3, 0).is_none());
+    }
+
+    #[test]
+    fn locate_row_major() {
+        let g = grid();
+        assert_eq!(g.len(), 8);
+        // Bottom-left cell.
+        assert_eq!(g.locate(&GeoPoint::new(0.5, 0.5)), Some(RegionId(0)));
+        // Bottom-right cell (col 3).
+        assert_eq!(g.locate(&GeoPoint::new(0.5, 7.5)), Some(RegionId(3)));
+        // Top-left cell (row 1 → id 4).
+        assert_eq!(g.locate(&GeoPoint::new(3.5, 0.5)), Some(RegionId(4)));
+        // Outside.
+        assert_eq!(g.locate(&GeoPoint::new(4.5, 0.5)), None);
+        assert_eq!(g.locate(&GeoPoint::new(-0.1, 0.5)), None);
+    }
+
+    #[test]
+    fn locate_and_cell_are_consistent() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let p = g.area().random_point(&mut rng);
+            let id = g.locate(&p).expect("point inside grid area");
+            let cell = g.cell(id).expect("valid id");
+            assert!(cell.contains(&p), "{p} not in cell of {id}");
+        }
+    }
+
+    #[test]
+    fn cells_partition_area() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let p = g.area().random_point(&mut rng);
+            let owners = g
+                .region_ids()
+                .filter(|&id| g.cell(id).unwrap().contains(&p))
+                .count();
+            assert_eq!(owners, 1);
+        }
+    }
+
+    #[test]
+    fn cell_out_of_range() {
+        let g = grid();
+        assert!(g.cell(RegionId(8)).is_none());
+        assert!(g.cell(RegionId(0)).is_some());
+    }
+
+    #[test]
+    fn neighbors_interior_and_corner() {
+        let g = grid(); // 2 rows × 4 cols
+                        // Corner 0 has right (1) and up (4).
+        let mut n = g.neighbors(RegionId(0));
+        n.sort();
+        assert_eq!(n, vec![RegionId(1), RegionId(4)]);
+        // Interior-ish cell 1: left 0, right 2, up 5.
+        let mut n = g.neighbors(RegionId(1));
+        n.sort();
+        assert_eq!(n, vec![RegionId(0), RegionId(2), RegionId(5)]);
+        // Out of range.
+        assert!(g.neighbors(RegionId(99)).is_empty());
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let area = BoundingBox::new(0.0, 1.0, 0.0, 1.0).unwrap();
+        let g = RegionGrid::new(area, 1, 1).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.locate(&GeoPoint::new(0.5, 0.5)), Some(RegionId(0)));
+        assert!(g.neighbors(RegionId(0)).is_empty());
+    }
+
+    #[test]
+    fn region_id_display() {
+        assert_eq!(RegionId(3).to_string(), "region#3");
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-tier region hierarchy.
+//!
+//! Sec. III-A: *"possibly defining several tiers at different levels of
+//! granularity, ranging from small local areas at the lowest tier, to the
+//! entire network area at the highest tier; this allows the system to
+//! collect task information from all the users in a scalable manner."*
+//!
+//! [`TieredGrid`] stacks [`RegionGrid`]s: tier 0 is the finest grid and
+//! each higher tier halves the resolution (rounding up) until a single
+//! region covers everything.
+
+use crate::coords::GeoPoint;
+use crate::grid::{RegionGrid, RegionId};
+use crate::region::BoundingBox;
+
+/// A stack of grids over the same area at coarsening resolutions.
+#[derive(Debug, Clone)]
+pub struct TieredGrid {
+    tiers: Vec<RegionGrid>,
+}
+
+impl TieredGrid {
+    /// Builds the hierarchy starting from a `rows × cols` finest tier.
+    /// Returns `None` when `rows` or `cols` is zero.
+    pub fn new(area: BoundingBox, rows: u32, cols: u32) -> Option<Self> {
+        let mut tiers = Vec::new();
+        let (mut r, mut c) = (rows, cols);
+        if r == 0 || c == 0 {
+            return None;
+        }
+        loop {
+            tiers.push(RegionGrid::new(area, r, c).expect("dimensions are non-zero"));
+            if r == 1 && c == 1 {
+                break;
+            }
+            r = r.div_ceil(2);
+            c = c.div_ceil(2);
+        }
+        Some(TieredGrid { tiers })
+    }
+
+    /// Number of tiers (≥ 1); tier 0 is the finest.
+    pub fn depth(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The grid at `tier`, if it exists.
+    pub fn tier(&self, tier: usize) -> Option<&RegionGrid> {
+        self.tiers.get(tier)
+    }
+
+    /// The finest grid (tier 0) — the one region servers are bound to.
+    pub fn finest(&self) -> &RegionGrid {
+        &self.tiers[0]
+    }
+
+    /// The coarsest grid (a single region covering the whole area).
+    pub fn coarsest(&self) -> &RegionGrid {
+        self.tiers.last().expect("at least one tier")
+    }
+
+    /// Locates a point at every tier, finest first. Returns an empty Vec
+    /// for points outside the area.
+    pub fn locate_all(&self, p: &GeoPoint) -> Vec<RegionId> {
+        match self.finest().locate(p) {
+            None => Vec::new(),
+            Some(_) => self
+                .tiers
+                .iter()
+                .map(|g| g.locate(p).expect("inside area at every tier"))
+                .collect(),
+        }
+    }
+
+    /// The tier-`t+1` region that aggregates the given tier-`t` region
+    /// (the "parent" in the hierarchy). `None` at the top tier or for
+    /// invalid ids.
+    pub fn parent(&self, tier: usize, id: RegionId) -> Option<RegionId> {
+        let fine = self.tiers.get(tier)?;
+        let coarse = self.tiers.get(tier + 1)?;
+        let cell = fine.cell(id)?;
+        coarse.locate(&cell.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn area() -> BoundingBox {
+        BoundingBox::new(0.0, 8.0, 0.0, 8.0).unwrap()
+    }
+
+    #[test]
+    fn builds_until_single_region() {
+        let t = TieredGrid::new(area(), 8, 8).unwrap();
+        // 8×8 → 4×4 → 2×2 → 1×1.
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.finest().len(), 64);
+        assert_eq!(t.coarsest().len(), 1);
+    }
+
+    #[test]
+    fn odd_dimensions_round_up() {
+        let t = TieredGrid::new(area(), 5, 3).unwrap();
+        // 5×3 → 3×2 → 2×1 → 1×1.
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.tier(1).unwrap().rows(), 3);
+        assert_eq!(t.tier(1).unwrap().cols(), 2);
+    }
+
+    #[test]
+    fn rejects_zero() {
+        assert!(TieredGrid::new(area(), 0, 4).is_none());
+    }
+
+    #[test]
+    fn single_tier_when_one_by_one() {
+        let t = TieredGrid::new(area(), 1, 1).unwrap();
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn locate_all_returns_one_id_per_tier() {
+        let t = TieredGrid::new(area(), 4, 4).unwrap();
+        let p = GeoPoint::new(1.0, 1.0);
+        let ids = t.locate_all(&p);
+        assert_eq!(ids.len(), t.depth());
+        // Top tier is always region 0.
+        assert_eq!(*ids.last().unwrap(), RegionId(0));
+        // Outside point → empty.
+        assert!(t.locate_all(&GeoPoint::new(20.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn parent_contains_child() {
+        let t = TieredGrid::new(area(), 8, 8).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..500 {
+            let p = area().random_point(&mut rng);
+            for tier in 0..t.depth() - 1 {
+                let id = t.tier(tier).unwrap().locate(&p).unwrap();
+                let parent = t.parent(tier, id).unwrap();
+                let parent_cell = t.tier(tier + 1).unwrap().cell(parent).unwrap();
+                let child_cell = t.tier(tier).unwrap().cell(id).unwrap();
+                assert!(
+                    parent_cell.contains(&child_cell.center()),
+                    "tier {tier}: parent cell must contain the child's center"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_at_top_is_none() {
+        let t = TieredGrid::new(area(), 2, 2).unwrap();
+        let top = t.depth() - 1;
+        assert!(t.parent(top, RegionId(0)).is_none());
+        assert!(t.parent(0, RegionId(999)).is_none());
+    }
+}

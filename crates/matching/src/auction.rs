@@ -1,0 +1,195 @@
+//! Bertsekas auction matcher (extension).
+//!
+//! Not part of the paper's evaluation — implemented as the ablation point
+//! between the exact-but-cubic Hungarian algorithm and the cheap
+//! heuristics: the auction reaches within `|V|·ε` of the optimum.
+//!
+//! Tasks act as bidders: an unassigned task bids for its best-value
+//! worker at a price increment of (best − second-best + ε); the worker
+//! always goes to the highest bidder, evicting the previous holder back
+//! into the bidding queue.
+//!
+//! To keep the asymmetric `|V| > |U|` case terminating *and* preserve the
+//! `|V|·ε` optimality bound, every task additionally owns a dedicated
+//! **virtual worker** with value 0 — the textbook "remain unassigned"
+//! option. Its price is never contested, so eviction chains always
+//! terminate there, and ε-complementary-slackness holds on the padded
+//! problem, whose optimum equals the original one (padding adds zero
+//! weight).
+
+use crate::graph::{BipartiteGraph, TaskIdx};
+use crate::matcher::{Matcher, Matching};
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// Auction configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuctionMatcher {
+    /// Bid increment ε: the result is within `|V|·epsilon` of optimal.
+    pub epsilon: f64,
+}
+
+impl Default for AuctionMatcher {
+    fn default() -> Self {
+        AuctionMatcher { epsilon: 1e-4 }
+    }
+}
+
+impl Matcher for AuctionMatcher {
+    fn assign(&self, graph: &BipartiteGraph, _rng: &mut dyn RngCore) -> Matching {
+        if graph.is_empty() {
+            return Matching::default();
+        }
+        let n_real = graph.n_workers();
+        let n_tasks = graph.n_tasks();
+        // Worker indices ≥ n_real are the per-task virtual workers:
+        // virtual worker of task v has index n_real + v.
+        let mut prices = vec![0.0f64; n_real + n_tasks];
+        // owner[w] = task currently holding worker w.
+        let mut owner: Vec<Option<TaskIdx>> = vec![None; n_real + n_tasks];
+        // assignment[v] = worker index currently held by task v.
+        let mut assignment: Vec<Option<usize>> = vec![None; n_tasks];
+        let mut bids: u64 = 0;
+
+        let eps = self.epsilon.max(f64::MIN_POSITIVE);
+        let mut queue: VecDeque<TaskIdx> = (0..n_tasks as u32)
+            .map(TaskIdx)
+            .filter(|&t| !graph.task_edges(t).is_empty())
+            .collect();
+        while let Some(task) = queue.pop_front() {
+            // Best and second-best net value among the real candidates
+            // plus the task's own virtual worker (value 0).
+            let virtual_w = n_real + task.0 as usize;
+            let mut best = (virtual_w, 0.0 - prices[virtual_w]);
+            let mut second = f64::NEG_INFINITY;
+            for &e in graph.task_edges(task) {
+                let edge = graph.edge(e);
+                let w = edge.worker.0 as usize;
+                let net = edge.weight - prices[w];
+                if net > best.1 {
+                    second = second.max(best.1);
+                    best = (w, net);
+                } else {
+                    second = second.max(net);
+                }
+            }
+            let (w, best_net) = best;
+            bids += 1;
+            let increment = if second.is_finite() {
+                (best_net - second) + eps
+            } else {
+                eps
+            };
+            prices[w] += increment;
+            if let Some(prev) = owner[w] {
+                assignment[prev.0 as usize] = None;
+                queue.push_back(prev);
+            }
+            owner[w] = Some(task);
+            assignment[task.0 as usize] = Some(w);
+        }
+
+        let mut pairs = Vec::new();
+        for (v, w) in assignment.iter().enumerate() {
+            // Virtual workers mean "left unassigned".
+            if let Some(w) = w.filter(|&w| w < n_real) {
+                let task = TaskIdx(v as u32);
+                let worker = crate::graph::WorkerIdx(w as u32);
+                let e = graph
+                    .find_edge(worker, task)
+                    .expect("assignment uses real edges");
+                pairs.push((worker, task, graph.edge(e).weight));
+            }
+        }
+        Matching::from_pairs(pairs, bids as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "auction"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkerIdx;
+    use crate::hungarian::HungarianMatcher;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(2, 2);
+        let m = AuctionMatcher::default().assign(&g, &mut rng());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(WorkerIdx(0), TaskIdx(0), 0.6).unwrap();
+        let m = AuctionMatcher::default().assign(&g, &mut rng());
+        assert_eq!(m.len(), 1);
+        assert!((m.total_weight - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_optimal_vs_hungarian_square() {
+        let mut g_rng = rng();
+        for trial in 0..10 {
+            let n = 4 + trial % 6;
+            let g = BipartiteGraph::full(n, n, |_, _| g_rng.gen::<f64>()).unwrap();
+            let auc = AuctionMatcher::default().assign(&g, &mut rng());
+            auc.verify(&g);
+            let opt = HungarianMatcher.assign(&g, &mut rng());
+            let slack = n as f64 * 1e-3;
+            assert!(
+                auc.total_weight >= opt.total_weight - slack,
+                "trial {trial}: auction {} vs optimum {}",
+                auc.total_weight,
+                opt.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn near_optimal_more_workers_than_tasks() {
+        let mut g_rng = rng();
+        let g = BipartiteGraph::full(20, 8, |_, _| g_rng.gen::<f64>()).unwrap();
+        let auc = AuctionMatcher::default().assign(&g, &mut rng());
+        auc.verify(&g);
+        assert_eq!(auc.len(), 8);
+        let opt = HungarianMatcher.assign(&g, &mut rng());
+        assert!(auc.total_weight >= opt.total_weight - 0.01);
+    }
+
+    #[test]
+    fn terminates_with_more_tasks_than_workers() {
+        let mut g_rng = rng();
+        let g = BipartiteGraph::full(3, 12, |_, _| g_rng.gen::<f64>()).unwrap();
+        let auc = AuctionMatcher::default().assign(&g, &mut rng());
+        auc.verify(&g);
+        assert_eq!(auc.len(), 3, "only |U| tasks can win a worker");
+    }
+
+    #[test]
+    fn handles_all_zero_weights() {
+        let g = BipartiteGraph::full(4, 4, |_, _| 0.0).unwrap();
+        let m = AuctionMatcher::default().assign(&g, &mut rng());
+        m.verify(&g);
+        assert_eq!(m.total_weight, 0.0);
+    }
+
+    #[test]
+    fn reports_bid_count_as_cost() {
+        let mut g_rng = rng();
+        let g = BipartiteGraph::full(6, 6, |_, _| g_rng.gen::<f64>()).unwrap();
+        let m = AuctionMatcher::default().assign(&g, &mut rng());
+        assert!(m.cost_units >= 6.0, "at least one bid per task");
+        assert_eq!(AuctionMatcher::default().name(), "auction");
+    }
+}

@@ -1,0 +1,367 @@
+//! The weighted bipartite assignment graph.
+//!
+//! Vertices are plain indices (`WorkerIdx` into `U`, `TaskIdx` into `V`);
+//! the caller owns the mapping from indices to domain identifiers. Edges
+//! are stored once in an arena with per-vertex adjacency lists, so random
+//! edge selection (the inner loop of the REACT/Metropolis matchers) is
+//! `O(1)` and neighbourhood scans (Greedy) are cache-friendly.
+
+use std::fmt;
+
+/// Index of a worker vertex (`u ∈ U`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerIdx(pub u32);
+
+/// Index of a task vertex (`v ∈ V`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskIdx(pub u32);
+
+/// Index of an edge in the graph's edge arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// Errors from graph construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Vertex index out of range.
+    VertexOutOfRange {
+        /// Number of worker vertices in the graph.
+        workers: usize,
+        /// Number of task vertices in the graph.
+        tasks: usize,
+    },
+    /// Weights must be finite and non-negative (the paper's weight
+    /// function, worker accuracy, lies in `[0, 1]`).
+    InvalidWeight(f64),
+    /// The same (worker, task) pair was inserted twice.
+    DuplicateEdge {
+        /// The worker endpoint of the duplicate.
+        worker: WorkerIdx,
+        /// The task endpoint of the duplicate.
+        task: TaskIdx,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { workers, tasks } => {
+                write!(f, "vertex out of range (|U|={workers}, |V|={tasks})")
+            }
+            GraphError::InvalidWeight(w) => {
+                write!(f, "edge weight must be finite and ≥ 0, got {w}")
+            }
+            GraphError::DuplicateEdge { worker, task } => {
+                write!(f, "duplicate edge (worker {}, task {})", worker.0, task.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One feasible (worker, task) assignment with its weight
+/// `w_ij = F(worker_i, task_j)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The worker endpoint.
+    pub worker: WorkerIdx,
+    /// The task endpoint.
+    pub task: TaskIdx,
+    /// The assignment value; finite and non-negative.
+    pub weight: f64,
+}
+
+/// A weighted bipartite graph `G = (U, V, E)`.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_workers: usize,
+    n_tasks: usize,
+    edges: Vec<Edge>,
+    worker_adj: Vec<Vec<EdgeId>>,
+    task_adj: Vec<Vec<EdgeId>>,
+}
+
+impl BipartiteGraph {
+    /// Creates an empty graph with `n_workers` worker vertices and
+    /// `n_tasks` task vertices.
+    pub fn new(n_workers: usize, n_tasks: usize) -> Self {
+        BipartiteGraph {
+            n_workers,
+            n_tasks,
+            edges: Vec::new(),
+            worker_adj: vec![Vec::new(); n_workers],
+            task_adj: vec![Vec::new(); n_tasks],
+        }
+    }
+
+    /// Builds the *complete* bipartite graph with weights produced by
+    /// `weight(worker, task)` — the paper's Fig. 3/4 worst case where
+    /// every task is connected to every worker.
+    pub fn full(
+        n_workers: usize,
+        n_tasks: usize,
+        mut weight: impl FnMut(WorkerIdx, TaskIdx) -> f64,
+    ) -> Result<Self, GraphError> {
+        let mut g = BipartiteGraph::new(n_workers, n_tasks);
+        g.edges.reserve(n_workers * n_tasks);
+        // The nested loop cannot produce duplicates, so the edges are
+        // inserted directly — `add_edge`'s O(deg) duplicate scan would
+        // make large full graphs quadratic in the vertex degree.
+        for u in 0..n_workers {
+            g.worker_adj[u].reserve(n_tasks);
+            for v in 0..n_tasks {
+                let (u, v) = (WorkerIdx(u as u32), TaskIdx(v as u32));
+                let w = weight(u, v);
+                if !w.is_finite() || w < 0.0 {
+                    return Err(GraphError::InvalidWeight(w));
+                }
+                let id = EdgeId(g.edges.len() as u32);
+                g.edges.push(Edge {
+                    worker: u,
+                    task: v,
+                    weight: w,
+                });
+                g.worker_adj[u.0 as usize].push(id);
+                g.task_adj[v.0 as usize].push(id);
+            }
+        }
+        Ok(g)
+    }
+
+    /// Number of worker vertices `|U|`.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of task vertices `|V|`.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of edges `|E|`.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the edge `(worker, task)` with the given weight.
+    ///
+    /// Rejects out-of-range vertices, non-finite or negative weights and
+    /// duplicate pairs (duplicate detection is `O(deg)`; graph
+    /// construction is far from the hot path).
+    pub fn add_edge(
+        &mut self,
+        worker: WorkerIdx,
+        task: TaskIdx,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if worker.0 as usize >= self.n_workers || task.0 as usize >= self.n_tasks {
+            return Err(GraphError::VertexOutOfRange {
+                workers: self.n_workers,
+                tasks: self.n_tasks,
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight(weight));
+        }
+        if self.worker_adj[worker.0 as usize]
+            .iter()
+            .any(|&e| self.edges[e.0 as usize].task == task)
+        {
+            return Err(GraphError::DuplicateEdge { worker, task });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            worker,
+            task,
+            weight,
+        });
+        self.worker_adj[worker.0 as usize].push(id);
+        self.task_adj[task.0 as usize].push(id);
+        Ok(id)
+    }
+
+    /// Adds the edge `(worker, task)` assuming the caller guarantees the
+    /// pair is fresh — the scheduler's nested worker×task loops cannot
+    /// produce duplicates, and the O(deg) duplicate scan of
+    /// [`BipartiteGraph::add_edge`] would make batch construction
+    /// quadratic. Vertex-range and weight validation still apply;
+    /// duplicates are only caught by a `debug_assert`.
+    pub fn add_edge_unchecked(
+        &mut self,
+        worker: WorkerIdx,
+        task: TaskIdx,
+        weight: f64,
+    ) -> Result<EdgeId, GraphError> {
+        if worker.0 as usize >= self.n_workers || task.0 as usize >= self.n_tasks {
+            return Err(GraphError::VertexOutOfRange {
+                workers: self.n_workers,
+                tasks: self.n_tasks,
+            });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight(weight));
+        }
+        debug_assert!(
+            self.find_edge(worker, task).is_none(),
+            "duplicate edge ({}, {})",
+            worker.0,
+            task.0
+        );
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            worker,
+            task,
+            weight,
+        });
+        self.worker_adj[worker.0 as usize].push(id);
+        self.task_adj[task.0 as usize].push(id);
+        Ok(id)
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id; edge ids are only produced by this
+    /// graph, so that is a caller logic error.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0 as usize]
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge ids incident to `worker`.
+    pub fn worker_edges(&self, worker: WorkerIdx) -> &[EdgeId] {
+        &self.worker_adj[worker.0 as usize]
+    }
+
+    /// Edge ids incident to `task`.
+    pub fn task_edges(&self, task: TaskIdx) -> &[EdgeId] {
+        &self.task_adj[task.0 as usize]
+    }
+
+    /// The id of the `(worker, task)` edge, if present.
+    pub fn find_edge(&self, worker: WorkerIdx, task: TaskIdx) -> Option<EdgeId> {
+        self.worker_adj
+            .get(worker.0 as usize)?
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.0 as usize].task == task)
+    }
+
+    /// Sum of all edge weights (an upper bound on any matching weight).
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// The largest possible matching size: `min(|U|, |V|)`.
+    pub fn max_matching_size(&self) -> usize {
+        self.n_workers.min(self.n_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 2);
+        assert_eq!(g.n_workers(), 3);
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.max_matching_size(), 2);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = BipartiteGraph::new(2, 2);
+        let e0 = g.add_edge(WorkerIdx(0), TaskIdx(0), 0.5).unwrap();
+        let e1 = g.add_edge(WorkerIdx(0), TaskIdx(1), 0.9).unwrap();
+        let e2 = g.add_edge(WorkerIdx(1), TaskIdx(0), 0.1).unwrap();
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.edge(e1).weight, 0.9);
+        assert_eq!(g.worker_edges(WorkerIdx(0)), &[e0, e1]);
+        assert_eq!(g.task_edges(TaskIdx(0)), &[e0, e2]);
+        assert_eq!(g.find_edge(WorkerIdx(1), TaskIdx(0)), Some(e2));
+        assert_eq!(g.find_edge(WorkerIdx(1), TaskIdx(1)), None);
+        assert!((g.total_weight() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = BipartiteGraph::new(1, 1);
+        assert!(matches!(
+            g.add_edge(WorkerIdx(1), TaskIdx(0), 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(WorkerIdx(0), TaskIdx(9), 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_weight() {
+        let mut g = BipartiteGraph::new(1, 1);
+        assert!(matches!(
+            g.add_edge(WorkerIdx(0), TaskIdx(0), f64::NAN),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(WorkerIdx(0), TaskIdx(0), -0.1),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(WorkerIdx(0), TaskIdx(0), f64::INFINITY),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        // Zero weight is allowed (a known-bad worker still is an option).
+        assert!(g.add_edge(WorkerIdx(0), TaskIdx(0), 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(WorkerIdx(0), TaskIdx(0), 0.5).unwrap();
+        assert!(matches!(
+            g.add_edge(WorkerIdx(0), TaskIdx(0), 0.7),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn full_graph_has_all_edges() {
+        let g = BipartiteGraph::full(3, 4, |u, v| (u.0 + v.0) as f64 / 10.0).unwrap();
+        assert_eq!(g.n_edges(), 12);
+        for u in 0..3 {
+            assert_eq!(g.worker_edges(WorkerIdx(u)).len(), 4);
+        }
+        for v in 0..4 {
+            assert_eq!(g.task_edges(TaskIdx(v)).len(), 3);
+        }
+        let e = g.find_edge(WorkerIdx(2), TaskIdx(3)).unwrap();
+        assert!((g.edge(e).weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::InvalidWeight(-1.0);
+        assert!(e.to_string().contains("weight"));
+        let e = GraphError::DuplicateEdge {
+            worker: WorkerIdx(1),
+            task: TaskIdx(2),
+        };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

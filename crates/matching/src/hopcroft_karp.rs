@@ -1,0 +1,222 @@
+//! Hopcroft–Karp maximum-*cardinality* bipartite matching,
+//! `O(E·√V)`.
+//!
+//! A weight-blind comparator: the paper observes that classical
+//! crowdsourcing systems *"optimize throughput rather than be
+//! responsive"* — maximum cardinality is exactly the throughput-optimal
+//! objective (assign as many tasks as possible, ignore who is best).
+//! Against REACT it isolates how much of the quality gain comes from
+//! *weighted* matching rather than from merely assigning aggressively.
+//!
+//! The classic algorithm: repeated BFS phases build a layered graph of
+//! shortest alternating paths from free workers; DFS then augments along
+//! a maximal set of vertex-disjoint shortest paths. The number of phases
+//! is `O(√V)`.
+
+use crate::graph::{BipartiteGraph, TaskIdx, WorkerIdx};
+use crate::matcher::{Matcher, Matching};
+use rand::RngCore;
+use std::collections::VecDeque;
+
+/// Maximum-cardinality matcher (weights ignored).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopcroftKarpMatcher;
+
+const NIL: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+impl HopcroftKarpMatcher {
+    /// Computes a maximum-cardinality matching, returning
+    /// `match_of_worker[u] = Some(v)` pairs.
+    fn solve(graph: &BipartiteGraph) -> Vec<Option<TaskIdx>> {
+        let n_u = graph.n_workers();
+        let mut pair_u: Vec<u32> = vec![NIL; n_u]; // worker → task
+        let mut pair_v: Vec<u32> = vec![NIL; graph.n_tasks()]; // task → worker
+        let mut dist: Vec<u32> = vec![INF; n_u];
+        let mut queue = VecDeque::new();
+
+        // BFS over free workers: layers of shortest alternating paths.
+        let bfs =
+            |pair_u: &[u32], pair_v: &[u32], dist: &mut [u32], queue: &mut VecDeque<u32>| -> bool {
+                queue.clear();
+                for u in 0..pair_u.len() as u32 {
+                    if pair_u[u as usize] == NIL {
+                        dist[u as usize] = 0;
+                        queue.push_back(u);
+                    } else {
+                        dist[u as usize] = INF;
+                    }
+                }
+                let mut found = false;
+                while let Some(u) = queue.pop_front() {
+                    for &e in graph.worker_edges(WorkerIdx(u)) {
+                        let v = graph.edge(e).task.0;
+                        let u_next = pair_v[v as usize];
+                        if u_next == NIL {
+                            found = true;
+                        } else if dist[u_next as usize] == INF {
+                            dist[u_next as usize] = dist[u as usize] + 1;
+                            queue.push_back(u_next);
+                        }
+                    }
+                }
+                found
+            };
+
+        // DFS along the layered graph.
+        fn dfs(
+            graph: &BipartiteGraph,
+            u: u32,
+            pair_u: &mut [u32],
+            pair_v: &mut [u32],
+            dist: &mut [u32],
+        ) -> bool {
+            for &e in graph.worker_edges(WorkerIdx(u)) {
+                let v = graph.edge(e).task.0;
+                let u_next = pair_v[v as usize];
+                let advance = if u_next == NIL {
+                    true
+                } else if dist[u_next as usize] == dist[u as usize] + 1 {
+                    dfs(graph, u_next, pair_u, pair_v, dist)
+                } else {
+                    false
+                };
+                if advance {
+                    pair_u[u as usize] = v;
+                    pair_v[v as usize] = u;
+                    return true;
+                }
+            }
+            dist[u as usize] = INF;
+            false
+        }
+
+        while bfs(&pair_u, &pair_v, &mut dist, &mut queue) {
+            for u in 0..n_u as u32 {
+                if pair_u[u as usize] == NIL {
+                    dfs(graph, u, &mut pair_u, &mut pair_v, &mut dist);
+                }
+            }
+        }
+
+        pair_u
+            .iter()
+            .map(|&v| (v != NIL).then_some(TaskIdx(v)))
+            .collect()
+    }
+}
+
+impl Matcher for HopcroftKarpMatcher {
+    fn assign(&self, graph: &BipartiteGraph, _rng: &mut dyn RngCore) -> Matching {
+        if graph.is_empty() {
+            return Matching::default();
+        }
+        let assignment = Self::solve(graph);
+        let mut pairs = Vec::new();
+        for (u, v) in assignment.iter().enumerate() {
+            if let Some(task) = v {
+                let worker = WorkerIdx(u as u32);
+                let e = graph
+                    .find_edge(worker, *task)
+                    .expect("solver uses real edges");
+                pairs.push((worker, *task, graph.edge(e).weight));
+            }
+        }
+        // O(E·√V): the count the complexity analysis charges.
+        let cost = graph.n_edges() as f64 * (graph.n_workers().max(graph.n_tasks()) as f64).sqrt();
+        Matching::from_pairs(pairs, cost)
+    }
+
+    fn name(&self) -> &'static str {
+        "hopcroft-karp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::HungarianMatcher;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 3);
+        assert!(HopcroftKarpMatcher.assign(&g, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn perfect_matching_on_full_graph() {
+        let g = BipartiteGraph::full(6, 6, |_, _| 0.5).unwrap();
+        let m = HopcroftKarpMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 6);
+        m.verify(&g);
+    }
+
+    #[test]
+    fn classic_augmenting_path_case() {
+        // w0–t0, w0–t1, w1–t0: naive greedy on w0→t0 then w1 stuck;
+        // max cardinality is 2 (w0→t1, w1→t0).
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(WorkerIdx(0), TaskIdx(0), 1.0).unwrap();
+        g.add_edge(WorkerIdx(0), TaskIdx(1), 1.0).unwrap();
+        g.add_edge(WorkerIdx(1), TaskIdx(0), 1.0).unwrap();
+        let m = HopcroftKarpMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 2);
+        m.verify(&g);
+    }
+
+    #[test]
+    fn cardinality_matches_hungarian_on_unit_weights() {
+        // With unit weights, max weight == max cardinality: Hopcroft-Karp
+        // must find matchings of the same size as the exact solver.
+        let mut g_rng = rng();
+        for trial in 0..20 {
+            let mut g = BipartiteGraph::new(7, 7);
+            for u in 0..7u32 {
+                for v in 0..7u32 {
+                    if g_rng.gen::<f64>() < 0.3 {
+                        g.add_edge(WorkerIdx(u), TaskIdx(v), 1.0).unwrap();
+                    }
+                }
+            }
+            let hk = HopcroftKarpMatcher.assign(&g, &mut rng());
+            hk.verify(&g);
+            let hung = HungarianMatcher.assign(&g, &mut rng());
+            assert_eq!(
+                hk.len(),
+                hung.len(),
+                "trial {trial}: cardinality {} vs optimal {}",
+                hk.len(),
+                hung.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_beats_weighted_matchers_in_size() {
+        // A weight trap: the heavy edge blocks a bigger matching. HK
+        // (weight-blind) must still find the larger matching.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(WorkerIdx(0), TaskIdx(0), 10.0).unwrap();
+        g.add_edge(WorkerIdx(0), TaskIdx(1), 0.1).unwrap();
+        g.add_edge(WorkerIdx(1), TaskIdx(0), 0.1).unwrap();
+        let m = HopcroftKarpMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 2, "max cardinality is 2 even though Σw is lower");
+    }
+
+    #[test]
+    fn rectangular_graphs() {
+        let g = BipartiteGraph::full(3, 9, |_, _| 1.0).unwrap();
+        let m = HopcroftKarpMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 3);
+        let g = BipartiteGraph::full(9, 3, |_, _| 1.0).unwrap();
+        let m = HopcroftKarpMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 3);
+        assert_eq!(HopcroftKarpMatcher.name(), "hopcroft-karp");
+    }
+}

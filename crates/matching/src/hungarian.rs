@@ -1,0 +1,279 @@
+//! Exact maximum-weight bipartite matching (Kuhn–Munkres / Hungarian
+//! algorithm with potentials, `O(n³)`).
+//!
+//! The paper cites the Hungarian algorithm as the classical *offline*
+//! optimum whose computational cost makes it *"inappropriate for use in
+//! dynamic systems"*. We implement it anyway: it provides the optimality
+//! ceiling in the Fig. 4 reproduction and the ground truth against which
+//! the heuristic matchers are tested.
+//!
+//! The graph is embedded in a square matrix of side `n = max(|U|, |V|)`;
+//! missing edges get weight 0, so a maximum-weight *perfect* matching of
+//! the padded matrix restricted to real edges with positive weight is a
+//! maximum-weight matching of the original graph (weights are
+//! non-negative by construction).
+
+use crate::graph::{BipartiteGraph, TaskIdx, WorkerIdx};
+use crate::matcher::{Matcher, Matching};
+use rand::RngCore;
+
+/// Exact `O(n³)` matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HungarianMatcher;
+
+impl HungarianMatcher {
+    /// Solves the assignment problem on a dense `rows × cols` weight
+    /// matrix (row-major `weights`, `weights[r * cols + c]` = value of
+    /// assigning row `r` to column `c`), returning for each row the
+    /// assigned column. Exposed for tests and for callers that already
+    /// have a matrix.
+    pub fn solve_dense(weights: &[f64], rows: usize, cols: usize) -> Vec<Option<usize>> {
+        assert_eq!(weights.len(), rows * cols, "matrix shape mismatch");
+        let n = rows.max(cols);
+        if n == 0 {
+            return Vec::new();
+        }
+        // Minimisation form on the padded square matrix: a[i][j] = -w.
+        let a = |i: usize, j: usize| -> f64 {
+            if i < rows && j < cols {
+                -weights[i * cols + j]
+            } else {
+                0.0
+            }
+        };
+        // Classic potentials implementation (1-based arrays).
+        let inf = f64::INFINITY;
+        let mut u = vec![0.0; n + 1];
+        let mut v = vec![0.0; n + 1];
+        let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+        let mut way = vec![0usize; n + 1];
+        for i in 1..=n {
+            p[0] = i;
+            let mut j0 = 0usize;
+            let mut minv = vec![inf; n + 1];
+            let mut used = vec![false; n + 1];
+            loop {
+                used[j0] = true;
+                let i0 = p[j0];
+                let mut delta = inf;
+                let mut j1 = 0usize;
+                for j in 1..=n {
+                    if !used[j] {
+                        let cur = a(i0 - 1, j - 1) - u[i0] - v[j];
+                        if cur < minv[j] {
+                            minv[j] = cur;
+                            way[j] = j0;
+                        }
+                        if minv[j] < delta {
+                            delta = minv[j];
+                            j1 = j;
+                        }
+                    }
+                }
+                for j in 0..=n {
+                    if used[j] {
+                        u[p[j]] += delta;
+                        v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if p[j0] == 0 {
+                    break;
+                }
+            }
+            // Augment along the alternating path.
+            loop {
+                let j1 = way[j0];
+                p[j0] = p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+        let mut row_to_col = vec![None; rows];
+        #[allow(clippy::needless_range_loop)]
+        for j in 1..=n {
+            let i = p[j];
+            if i >= 1 && i - 1 < rows && j - 1 < cols {
+                row_to_col[i - 1] = Some(j - 1);
+            }
+        }
+        row_to_col
+    }
+}
+
+impl Matcher for HungarianMatcher {
+    fn assign(&self, graph: &BipartiteGraph, _rng: &mut dyn RngCore) -> Matching {
+        let (rows, cols) = (graph.n_workers(), graph.n_tasks());
+        if rows == 0 || cols == 0 || graph.is_empty() {
+            return Matching::default();
+        }
+        let mut weights = vec![0.0; rows * cols];
+        for edge in graph.edges() {
+            weights[edge.worker.0 as usize * cols + edge.task.0 as usize] = edge.weight;
+        }
+        let assignment = Self::solve_dense(&weights, rows, cols);
+        let mut pairs = Vec::new();
+        for (r, col) in assignment.iter().enumerate() {
+            if let Some(c) = col {
+                let worker = WorkerIdx(r as u32);
+                let task = TaskIdx(*c as u32);
+                // Keep only real edges; padded zero cells and zero-weight
+                // placeholders carry no value.
+                if let Some(e) = graph.find_edge(worker, task) {
+                    pairs.push((worker, task, graph.edge(e).weight));
+                }
+            }
+        }
+        let n = rows.max(cols) as f64;
+        Matching::from_pairs(pairs, n * n * n)
+    }
+
+    fn name(&self) -> &'static str {
+        "hungarian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12)
+    }
+
+    /// Brute-force optimum by enumerating all injective assignments of
+    /// tasks to workers (exponential; only for tiny graphs).
+    fn brute_force_optimum(graph: &BipartiteGraph) -> f64 {
+        fn rec(graph: &BipartiteGraph, task: usize, used: &mut Vec<bool>) -> f64 {
+            if task == graph.n_tasks() {
+                return 0.0;
+            }
+            // Option 1: leave this task unmatched.
+            let mut best = rec(graph, task + 1, used);
+            // Option 2: match it with any free worker it has an edge to.
+            for &e in graph.task_edges(TaskIdx(task as u32)) {
+                let edge = graph.edge(e);
+                let w = edge.worker.0 as usize;
+                if !used[w] {
+                    used[w] = true;
+                    best = best.max(edge.weight + rec(graph, task + 1, used));
+                    used[w] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; graph.n_workers()];
+        rec(graph, 0, &mut used)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(3, 3);
+        let m = HungarianMatcher.assign(&g, &mut rng());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn known_3x3_optimum() {
+        // Anti-diagonal is optimal: 0.9 + 0.8 + 0.9 = 2.6.
+        let w = [[0.1, 0.2, 0.9], [0.3, 0.8, 0.1], [0.9, 0.1, 0.2]];
+        let g = BipartiteGraph::full(3, 3, |u, v| w[u.0 as usize][v.0 as usize]).unwrap();
+        let m = HungarianMatcher.assign(&g, &mut rng());
+        assert!(
+            (m.total_weight - 2.6).abs() < 1e-9,
+            "got {}",
+            m.total_weight
+        );
+        m.verify(&g);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_square_graphs() {
+        let mut g_rng = rng();
+        for trial in 0..30 {
+            let n = 2 + trial % 5; // 2..6
+            let g = BipartiteGraph::full(n, n, |_, _| g_rng.gen::<f64>()).unwrap();
+            let m = HungarianMatcher.assign(&g, &mut rng());
+            m.verify(&g);
+            let opt = brute_force_optimum(&g);
+            assert!(
+                (m.total_weight - opt).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute force {opt}",
+                m.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_rectangular_graphs() {
+        let mut g_rng = rng();
+        for trial in 0..20 {
+            let (nu, nv) = if trial % 2 == 0 { (6, 3) } else { (3, 6) };
+            let g = BipartiteGraph::full(nu, nv, |_, _| g_rng.gen::<f64>()).unwrap();
+            let m = HungarianMatcher.assign(&g, &mut rng());
+            m.verify(&g);
+            let opt = brute_force_optimum(&g);
+            assert!(
+                (m.total_weight - opt).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute force {opt}",
+                m.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_sparse_graphs() {
+        let mut g_rng = rng();
+        for trial in 0..20 {
+            let mut g = BipartiteGraph::new(5, 5);
+            for u in 0..5u32 {
+                for v in 0..5u32 {
+                    if g_rng.gen::<f64>() < 0.4 {
+                        g.add_edge(WorkerIdx(u), TaskIdx(v), g_rng.gen::<f64>())
+                            .unwrap();
+                    }
+                }
+            }
+            let m = HungarianMatcher.assign(&g, &mut rng());
+            m.verify(&g);
+            let opt = brute_force_optimum(&g);
+            assert!(
+                (m.total_weight - opt).abs() < 1e-9,
+                "trial {trial}: hungarian {} vs brute force {opt}",
+                m.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn solve_dense_identity() {
+        // Strongly diagonal matrix → identity assignment.
+        let w = vec![
+            9.0, 1.0, 1.0, //
+            1.0, 9.0, 1.0, //
+            1.0, 1.0, 9.0,
+        ];
+        let assign = HungarianMatcher::solve_dense(&w, 3, 3);
+        assert_eq!(assign, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn solve_dense_rejects_bad_shape() {
+        let _ = HungarianMatcher::solve_dense(&[1.0, 2.0], 2, 2);
+    }
+
+    #[test]
+    fn cost_units_cubic() {
+        let g = BipartiteGraph::full(4, 2, |_, _| 1.0).unwrap();
+        let m = HungarianMatcher.assign(&g, &mut rng());
+        assert_eq!(m.cost_units, 64.0);
+        assert_eq!(HungarianMatcher.name(), "hungarian");
+    }
+}

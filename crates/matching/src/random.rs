@@ -1,0 +1,113 @@
+//! The "traditional" uniform-random assigner.
+//!
+//! Simulates classical crowdsourcing marketplaces (AMT-style): tasks are
+//! not routed by skill or profile — effectively each task ends up with a
+//! uniformly random available worker. The paper's third comparator uses
+//! exactly this (*"we use uniform matching for the assignment and the
+//! probabilistic model ... is not being used"*).
+//!
+//! Weights are ignored during selection; assignment cost is negligible
+//! (`cost_units = |V|`), which is why the traditional system never
+//! suffers the scheduler queueing collapse — it simply assigns blindly.
+
+use crate::graph::{BipartiteGraph, TaskIdx};
+use crate::matcher::{Matcher, Matching};
+use rand::{Rng, RngCore};
+
+/// Uniform-random matcher over the feasible edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomMatcher;
+
+impl Matcher for RandomMatcher {
+    fn assign(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> Matching {
+        let mut worker_taken = vec![false; graph.n_workers()];
+        let mut pairs = Vec::new();
+        // Scratch buffer reused across tasks to avoid per-task allocation.
+        let mut candidates: Vec<&crate::graph::Edge> = Vec::new();
+        for v in 0..graph.n_tasks() {
+            let task = TaskIdx(v as u32);
+            candidates.clear();
+            candidates.extend(
+                graph
+                    .task_edges(task)
+                    .iter()
+                    .map(|&e| graph.edge(e))
+                    .filter(|edge| !worker_taken[edge.worker.0 as usize]),
+            );
+            if candidates.is_empty() {
+                continue;
+            }
+            let edge = candidates[rng.gen_range(0..candidates.len())];
+            worker_taken[edge.worker.0 as usize] = true;
+            pairs.push((edge.worker, edge.task, edge.weight));
+        }
+        let cost = graph.n_tasks() as f64;
+        Matching::from_pairs(pairs, cost)
+    }
+
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkerIdx;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(2, 2);
+        let m = RandomMatcher.assign(&g, &mut rng());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn assigns_every_task_when_workers_abound() {
+        let g = BipartiteGraph::full(50, 10, |_, _| 0.5).unwrap();
+        let m = RandomMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 10);
+        m.verify(&g);
+    }
+
+    #[test]
+    fn selection_is_weight_blind() {
+        // One heavy edge among many light ones: random must pick the
+        // heavy one at roughly the uniform rate (1/10), far below always.
+        let mut heavy_picks = 0;
+        let g = BipartiteGraph::full(10, 1, |u, _| if u.0 == 0 { 1.0 } else { 0.01 }).unwrap();
+        for seed in 0..500 {
+            let m = RandomMatcher.assign(&g, &mut SmallRng::seed_from_u64(seed));
+            if m.pairs[0].0 == WorkerIdx(0) {
+                heavy_picks += 1;
+            }
+        }
+        let rate = heavy_picks as f64 / 500.0;
+        assert!(
+            (rate - 0.1).abs() < 0.05,
+            "uniform pick rate should be ≈0.1, got {rate}"
+        );
+    }
+
+    #[test]
+    fn respects_one_to_one_constraints() {
+        let g = BipartiteGraph::full(5, 20, |_, _| 0.5).unwrap();
+        let m = RandomMatcher.assign(&g, &mut rng());
+        assert_eq!(m.len(), 5, "at most |U| tasks can be served");
+        m.verify(&g);
+    }
+
+    #[test]
+    fn cost_is_linear_in_tasks() {
+        let g = BipartiteGraph::full(10, 7, |_, _| 0.5).unwrap();
+        let m = RandomMatcher.assign(&g, &mut rng());
+        assert_eq!(m.cost_units, 7.0);
+        assert_eq!(RandomMatcher.name(), "traditional");
+    }
+}

@@ -1,0 +1,250 @@
+//! Incremental matching state `x ∈ {0,1}^{|E|}` with O(1) fitness
+//! maintenance.
+//!
+//! The REACT and Metropolis matchers flip one edge per cycle; recomputing
+//! `g(x) = Σ x_ij·w_ij` from scratch would cost `O(E)` per cycle. The
+//! state therefore tracks, per vertex, which edge currently matches it,
+//! and maintains the running fitness incrementally, exactly as the
+//! paper's complexity analysis assumes (*"the algorithm computes the new
+//! g(x′) that also costs O(1), by adding or subtracting the edge's
+//! weight"*).
+
+use crate::graph::{BipartiteGraph, EdgeId, TaskIdx, WorkerIdx};
+
+/// A (partial) matching over a [`BipartiteGraph`], kept consistent with
+/// the 1-to-1 constraints at all times.
+#[derive(Debug, Clone)]
+pub struct MatchingState {
+    selected: Vec<bool>,
+    worker_match: Vec<Option<EdgeId>>,
+    task_match: Vec<Option<EdgeId>>,
+    fitness: f64,
+    size: usize,
+}
+
+impl MatchingState {
+    /// The empty matching over `graph`.
+    pub fn new(graph: &BipartiteGraph) -> Self {
+        MatchingState {
+            selected: vec![false; graph.n_edges()],
+            worker_match: vec![None; graph.n_workers()],
+            task_match: vec![None; graph.n_tasks()],
+            fitness: 0.0,
+            size: 0,
+        }
+    }
+
+    /// Current fitness `g(x)` — the sum of selected edge weights.
+    #[inline]
+    pub fn fitness(&self) -> f64 {
+        self.fitness
+    }
+
+    /// Number of selected edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True when edge `e` is in the matching.
+    #[inline]
+    pub fn is_selected(&self, e: EdgeId) -> bool {
+        self.selected[e.0 as usize]
+    }
+
+    /// The edge currently matching `worker`, if any.
+    #[inline]
+    pub fn worker_match(&self, worker: WorkerIdx) -> Option<EdgeId> {
+        self.worker_match[worker.0 as usize]
+    }
+
+    /// The edge currently matching `task`, if any.
+    #[inline]
+    pub fn task_match(&self, task: TaskIdx) -> Option<EdgeId> {
+        self.task_match[task.0 as usize]
+    }
+
+    /// The matched edges that conflict with selecting `e`: the edge (if
+    /// any) occupying `e`'s worker and the edge (if any) occupying `e`'s
+    /// task. Selecting an already-selected edge conflicts with nothing.
+    pub fn conflicts(&self, graph: &BipartiteGraph, e: EdgeId) -> (Option<EdgeId>, Option<EdgeId>) {
+        let edge = graph.edge(e);
+        let w = self.worker_match[edge.worker.0 as usize].filter(|&m| m != e);
+        let t = self.task_match[edge.task.0 as usize].filter(|&m| m != e);
+        (w, t)
+    }
+
+    /// Adds edge `e` to the matching.
+    ///
+    /// # Panics
+    /// Panics (via `debug_assert`) when `e` is already selected or either
+    /// endpoint is occupied — callers must clear conflicts first, which
+    /// keeps this operation `O(1)`.
+    pub fn select(&mut self, graph: &BipartiteGraph, e: EdgeId) {
+        debug_assert!(!self.selected[e.0 as usize], "edge already selected");
+        let edge = graph.edge(e);
+        debug_assert!(
+            self.worker_match[edge.worker.0 as usize].is_none(),
+            "worker endpoint occupied"
+        );
+        debug_assert!(
+            self.task_match[edge.task.0 as usize].is_none(),
+            "task endpoint occupied"
+        );
+        self.selected[e.0 as usize] = true;
+        self.worker_match[edge.worker.0 as usize] = Some(e);
+        self.task_match[edge.task.0 as usize] = Some(e);
+        self.fitness += edge.weight;
+        self.size += 1;
+    }
+
+    /// Removes edge `e` from the matching.
+    ///
+    /// # Panics
+    /// `debug_assert`s that `e` is currently selected.
+    pub fn deselect(&mut self, graph: &BipartiteGraph, e: EdgeId) {
+        debug_assert!(self.selected[e.0 as usize], "edge not selected");
+        let edge = graph.edge(e);
+        self.selected[e.0 as usize] = false;
+        self.worker_match[edge.worker.0 as usize] = None;
+        self.task_match[edge.task.0 as usize] = None;
+        self.fitness -= edge.weight;
+        self.size -= 1;
+    }
+
+    /// The selected edges, in edge-id order.
+    pub fn selected_edges(&self) -> Vec<EdgeId> {
+        self.selected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| EdgeId(i as u32))
+            .collect()
+    }
+
+    /// Exhaustive consistency check for tests: verifies the selected set,
+    /// per-vertex indices, fitness and size all agree, and that no two
+    /// selected edges share a vertex. Returns the recomputed fitness.
+    pub fn verify(&self, graph: &BipartiteGraph) -> f64 {
+        let mut fitness = 0.0;
+        let mut size = 0;
+        let mut worker_seen = vec![false; graph.n_workers()];
+        let mut task_seen = vec![false; graph.n_tasks()];
+        for (i, &sel) in self.selected.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let edge = graph.edge(id);
+            if sel {
+                assert!(
+                    !worker_seen[edge.worker.0 as usize],
+                    "two selected edges share worker {}",
+                    edge.worker.0
+                );
+                assert!(
+                    !task_seen[edge.task.0 as usize],
+                    "two selected edges share task {}",
+                    edge.task.0
+                );
+                worker_seen[edge.worker.0 as usize] = true;
+                task_seen[edge.task.0 as usize] = true;
+                assert_eq!(self.worker_match[edge.worker.0 as usize], Some(id));
+                assert_eq!(self.task_match[edge.task.0 as usize], Some(id));
+                fitness += edge.weight;
+                size += 1;
+            }
+        }
+        assert_eq!(size, self.size, "size out of sync");
+        assert!(
+            (fitness - self.fitness).abs() < 1e-9 * (1.0 + fitness.abs()),
+            "fitness out of sync: incremental {} vs recomputed {}",
+            self.fitness,
+            fitness
+        );
+        fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> BipartiteGraph {
+        // 2 workers × 2 tasks, all four edges.
+        BipartiteGraph::full(2, 2, |u, v| match (u.0, v.0) {
+            (0, 0) => 0.9,
+            (0, 1) => 0.2,
+            (1, 0) => 0.4,
+            (1, 1) => 0.8,
+            _ => unreachable!(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn select_deselect_roundtrip() {
+        let g = diamond();
+        let mut s = MatchingState::new(&g);
+        let e = g.find_edge(WorkerIdx(0), TaskIdx(0)).unwrap();
+        s.select(&g, e);
+        assert!(s.is_selected(e));
+        assert_eq!(s.size(), 1);
+        assert!((s.fitness() - 0.9).abs() < 1e-12);
+        assert_eq!(s.worker_match(WorkerIdx(0)), Some(e));
+        assert_eq!(s.task_match(TaskIdx(0)), Some(e));
+        s.verify(&g);
+        s.deselect(&g, e);
+        assert!(!s.is_selected(e));
+        assert_eq!(s.size(), 0);
+        assert!(s.fitness().abs() < 1e-12);
+        s.verify(&g);
+    }
+
+    #[test]
+    fn conflicts_detected_on_both_sides() {
+        let g = diamond();
+        let mut s = MatchingState::new(&g);
+        let e00 = g.find_edge(WorkerIdx(0), TaskIdx(0)).unwrap();
+        let e01 = g.find_edge(WorkerIdx(0), TaskIdx(1)).unwrap();
+        let e10 = g.find_edge(WorkerIdx(1), TaskIdx(0)).unwrap();
+        let e11 = g.find_edge(WorkerIdx(1), TaskIdx(1)).unwrap();
+        s.select(&g, e00);
+        // e01 shares worker 0.
+        assert_eq!(s.conflicts(&g, e01), (Some(e00), None));
+        // e10 shares task 0.
+        assert_eq!(s.conflicts(&g, e10), (None, Some(e00)));
+        // e11 shares nothing.
+        assert_eq!(s.conflicts(&g, e11), (None, None));
+        // A selected edge does not conflict with itself.
+        assert_eq!(s.conflicts(&g, e00), (None, None));
+    }
+
+    #[test]
+    fn full_matching_fitness() {
+        let g = diamond();
+        let mut s = MatchingState::new(&g);
+        s.select(&g, g.find_edge(WorkerIdx(0), TaskIdx(0)).unwrap());
+        s.select(&g, g.find_edge(WorkerIdx(1), TaskIdx(1)).unwrap());
+        assert_eq!(s.size(), 2);
+        assert!((s.fitness() - 1.7).abs() < 1e-12);
+        assert_eq!(s.selected_edges().len(), 2);
+        s.verify(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker endpoint occupied")]
+    #[cfg(debug_assertions)]
+    fn select_conflicting_edge_panics() {
+        let g = diamond();
+        let mut s = MatchingState::new(&g);
+        s.select(&g, g.find_edge(WorkerIdx(0), TaskIdx(0)).unwrap());
+        s.select(&g, g.find_edge(WorkerIdx(0), TaskIdx(1)).unwrap());
+    }
+
+    #[test]
+    fn verify_recomputes_fitness() {
+        let g = diamond();
+        let mut s = MatchingState::new(&g);
+        s.select(&g, g.find_edge(WorkerIdx(1), TaskIdx(0)).unwrap());
+        let f = s.verify(&g);
+        assert!((f - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,205 @@
+//! Terminal line charts for the experiment reports.
+//!
+//! The paper's evaluation is figures, not tables; [`ascii_chart`] gives
+//! the harness a dependency-free way to show curve *shape* (the Fig. 5/6
+//! cumulative curves, the Fig. 9 sweep) directly in the terminal, next
+//! to the exact numbers in the tables and CSVs.
+
+/// One named series of `(x, y)` points.
+pub struct ChartSeries<'a> {
+    /// Legend label.
+    pub name: &'a str,
+    /// The points (need not be sorted; NaNs are skipped).
+    pub points: &'a [(f64, f64)],
+}
+
+/// Per-series plot symbols, assigned in order.
+const SYMBOLS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders the series into a `width × height` character grid with
+/// min/max axis annotations and a legend. Returns an empty string when
+/// no finite point exists.
+pub fn ascii_chart(title: &str, series: &[ChartSeries<'_>], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let finite = |p: &&(f64, f64)| p.0.is_finite() && p.1.is_finite();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().filter(finite).copied())
+        .collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if x_max == x_min {
+        x_max = x_min + 1.0;
+    }
+    if y_max == y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let symbol = SYMBOLS[si % SYMBOLS.len()];
+        for p in s.points.iter().filter(finite) {
+            let cx = ((p.0 - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((p.1 - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = symbol;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let y_hi = format!("{y_max:.0}");
+    let y_lo = format!("{y_min:.0}");
+    let margin = y_hi.len().max(y_lo.len());
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            &y_hi
+        } else if i == height - 1 {
+            &y_lo
+        } else {
+            ""
+        };
+        out.push_str(&format!("{label:>margin$} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>margin$} +{}\n{:>margin$}  {:<lw$}{:>rw$}\n",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{x_min:.0}"),
+        format!("{x_max:.0}"),
+        lw = width / 2,
+        rw = width - width / 2,
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", SYMBOLS[i % SYMBOLS.len()], s.name))
+        .collect();
+    out.push_str(&format!("{:>margin$}  {}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, slope: f64) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64, i as f64 * slope)).collect()
+    }
+
+    #[test]
+    fn renders_grid_with_axes_and_legend() {
+        let a = ramp(50, 1.0);
+        let b = ramp(50, 0.5);
+        let chart = ascii_chart(
+            "deadlines met",
+            &[
+                ChartSeries {
+                    name: "react",
+                    points: &a,
+                },
+                ChartSeries {
+                    name: "traditional",
+                    points: &b,
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(chart.starts_with("deadlines met\n"));
+        assert!(chart.contains('*'), "first series plotted");
+        assert!(chart.contains('o'), "second series plotted");
+        assert!(chart.contains("* react"));
+        assert!(chart.contains("o traditional"));
+        assert!(chart.contains("49"), "x max label");
+        // Every plot row has the axis bar.
+        let bars = chart.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(bars, 10);
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let a = ramp(100, 2.0);
+        let chart = ascii_chart(
+            "t",
+            &[ChartSeries {
+                name: "a",
+                points: &a,
+            }],
+            30,
+            8,
+        );
+        // Row index of the symbol must be non-increasing left→right.
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        let mut last_col = 0usize;
+        for row in &rows {
+            // Find the rightmost symbol in this row; rows go top→bottom,
+            // so the rightmost column must decrease as we go down.
+            if let Some(c) = row.rfind('*') {
+                if last_col != 0 {
+                    assert!(c <= last_col, "curve must descend to the left");
+                }
+                last_col = c;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(ascii_chart("t", &[], 30, 8), "");
+        let nan = [(f64::NAN, 1.0)];
+        assert_eq!(
+            ascii_chart(
+                "t",
+                &[ChartSeries {
+                    name: "a",
+                    points: &nan
+                }],
+                30,
+                8
+            ),
+            ""
+        );
+        // A single point still renders (degenerate ranges padded).
+        let single = [(5.0, 5.0)];
+        let chart = ascii_chart(
+            "t",
+            &[ChartSeries {
+                name: "a",
+                points: &single,
+            }],
+            30,
+            8,
+        );
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn tiny_dimensions_are_clamped() {
+        let a = ramp(10, 1.0);
+        let chart = ascii_chart(
+            "t",
+            &[ChartSeries {
+                name: "a",
+                points: &a,
+            }],
+            1,
+            1,
+        );
+        assert!(!chart.is_empty());
+    }
+}

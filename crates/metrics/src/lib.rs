@@ -1,0 +1,21 @@
+//! Measurement substrate for the REACT experiments.
+//!
+//! Deliberately small and dependency-free: counters and gauges for event
+//! counts, append-only time series for the paper's cumulative curves
+//! (Figs. 5–6) and sweep series (Figs. 9–10), a plain-text table renderer
+//! for terminal reports, and a hand-rolled CSV writer for archiving the
+//! regenerated figure data (no `serde` needed — see `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod registry;
+pub mod series;
+pub mod table;
+
+pub use chart::{ascii_chart, ChartSeries};
+pub use csv::write_csv;
+pub use registry::MetricsRegistry;
+pub use series::TimeSeries;
+pub use table::Table;

@@ -1,0 +1,139 @@
+//! A named metrics registry shared between components.
+//!
+//! The simulation components (server, workers, harness) all contribute
+//! counters and series; the registry gives them one home keyed by name.
+//! `parking_lot::RwLock` keeps it cheaply shareable with the threaded
+//! live runtime as well.
+
+use crate::series::TimeSeries;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared registry of counters and time series.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn incr(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.write();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.read().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a point to the named series (creating it when absent).
+    pub fn record(&self, name: &str, x: f64, y: f64) {
+        let mut inner = self.inner.write();
+        inner
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(name))
+            .push(x, y);
+    }
+
+    /// A snapshot clone of the named series.
+    pub fn series(&self, name: &str) -> Option<TimeSeries> {
+        self.inner.read().series.get(name).cloned()
+    }
+
+    /// All counter names and values, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .read()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.read().series.keys().cloned().collect()
+    }
+
+    /// Clears everything (between experiment repetitions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.write();
+        inner.counters.clear();
+        inner.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter("tasks"), 0);
+        m.incr("tasks", 2);
+        m.incr("tasks", 3);
+        assert_eq!(m.counter("tasks"), 5);
+        assert_eq!(m.counters(), vec![("tasks".to_string(), 5)]);
+    }
+
+    #[test]
+    fn series_recorded_in_order() {
+        let m = MetricsRegistry::new();
+        m.record("met", 0.0, 0.0);
+        m.record("met", 1.0, 1.0);
+        let s = m.series("met").unwrap();
+        assert_eq!(s.points(), &[(0.0, 0.0), (1.0, 1.0)]);
+        assert!(m.series("absent").is_none());
+        assert_eq!(m.series_names(), vec!["met".to_string()]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m.incr("x", 1);
+        m2.incr("x", 1);
+        assert_eq!(m.counter("x"), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = MetricsRegistry::new();
+        m.incr("x", 1);
+        m.record("s", 0.0, 0.0);
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.series("s").is_none());
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("hits"), 4000);
+    }
+}

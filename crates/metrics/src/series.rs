@@ -1,0 +1,162 @@
+//! Append-only `(x, y)` series for the paper's cumulative curves.
+
+/// A named series of `(x, y)` points with non-decreasing `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name (used as a CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    /// Panics when `x` goes backwards — series record simulated time or
+    /// sweep parameters, both of which only move forward.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if let Some(&(last_x, _)) = self.points.last() {
+            assert!(
+                x >= last_x,
+                "series '{}': x must be non-decreasing ({x} after {last_x})",
+                self.name
+            );
+        }
+        self.points.push((x, y));
+    }
+
+    /// The recorded points in order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded point.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Linear interpolation of `y` at `x` (clamped to the series ends).
+    /// `None` for an empty series.
+    pub fn sample_at(&self, x: f64) -> Option<f64> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if x <= pts[0].0 {
+            return Some(pts[0].1);
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return Some(pts[pts.len() - 1].1);
+        }
+        let i = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[i - 1];
+        let (x1, y1) = pts[i];
+        if x1 == x0 {
+            return Some(y1);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+
+    /// Downsamples to at most `n` evenly spaced points (keeps endpoints).
+    /// Useful when a per-event series is printed as a table.
+    pub fn thin(&self, n: usize) -> Vec<(f64, f64)> {
+        if n == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        if self.points.len() <= n {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        let last = self.points.len() - 1;
+        for k in 0..n {
+            let idx = k * last / (n - 1).max(1);
+            out.push(self.points[idx]);
+        }
+        out.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new("deadline_met");
+        assert!(s.is_empty());
+        s.push(0.0, 0.0);
+        s.push(1.0, 2.0);
+        s.push(1.0, 3.0); // equal x allowed
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some((1.0, 3.0)));
+        assert_eq!(s.name(), "deadline_met");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_backwards_x() {
+        let mut s = TimeSeries::new("t");
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let mut s = TimeSeries::new("t");
+        assert_eq!(s.sample_at(1.0), None);
+        s.push(0.0, 0.0);
+        s.push(10.0, 100.0);
+        assert_eq!(s.sample_at(-5.0), Some(0.0));
+        assert_eq!(s.sample_at(5.0), Some(50.0));
+        assert_eq!(s.sample_at(20.0), Some(100.0));
+    }
+
+    #[test]
+    fn sample_handles_duplicate_x() {
+        let mut s = TimeSeries::new("t");
+        s.push(0.0, 0.0);
+        s.push(1.0, 1.0);
+        s.push(1.0, 5.0);
+        s.push(2.0, 6.0);
+        // At an interior duplicate the later value wins.
+        assert_eq!(s.sample_at(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn thin_keeps_endpoints() {
+        let mut s = TimeSeries::new("t");
+        for i in 0..100 {
+            s.push(i as f64, (i * i) as f64);
+        }
+        let t = s.thin(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0], (0.0, 0.0));
+        assert_eq!(t[4], (99.0, 9801.0));
+        // Short series returned as-is.
+        assert_eq!(s.thin(1000).len(), 100);
+        assert!(s.thin(0).is_empty());
+    }
+}

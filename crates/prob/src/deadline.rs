@@ -1,0 +1,270 @@
+//! The paper's probabilistic deadline model (Sec. IV-B, Eqs. 2–3).
+//!
+//! For a task `j` assigned to worker `i` at time `a`:
+//!
+//! * `TimeToDeadline_ij` — the interval from assignment until the task's
+//!   deadline expires,
+//! * `t_ij` — the time elapsed since assignment,
+//! * `ExecTime_ij` — the (unknown) total execution time on this worker.
+//!
+//! Using the worker's fitted power-law CCDF `P(k) = Pr(K ≥ k)`:
+//!
+//! * **Eq. (3)** — edge instantiation: `Pr(ExecTime < TTD) = 1 − P(TTD)`.
+//!   An edge `(worker, task)` only enters the bipartite graph when this
+//!   probability exceeds an application-defined lower bound.
+//! * **Eq. (2)** — in-flight check:
+//!   `Pr(t < ExecTime < TTD) = 1 − (P(TTD) + (1 − P(t))) = P(t) − P(TTD)`.
+//!   When this drops below a threshold (10 % in the paper's evaluation)
+//!   the task is pulled back from the worker and reassigned.
+
+use crate::empirical::LatencyCcdf;
+
+/// Thresholds driving the two deadline decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineModelConfig {
+    /// Minimum `Pr(ExecTime < TTD)` for a worker↔task edge to be
+    /// instantiated at all (graph-construction pruning).
+    pub edge_probability_threshold: f64,
+    /// Minimum in-flight probability `Pr(t < ExecTime < TTD)` before the
+    /// assignment is abandoned and the task reassigned. The paper uses 0.1.
+    pub reassign_threshold: f64,
+}
+
+impl Default for DeadlineModelConfig {
+    fn default() -> Self {
+        DeadlineModelConfig {
+            edge_probability_threshold: 0.1,
+            reassign_threshold: 0.1,
+        }
+    }
+}
+
+/// Outcome of an in-flight deadline check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlineDecision {
+    /// The assignment still has an acceptable chance of meeting the
+    /// deadline; leave it with the current worker.
+    Keep {
+        /// The evaluated `Pr(t < ExecTime < TTD)`.
+        probability: f64,
+    },
+    /// The probability fell below the threshold: pull the task back and
+    /// let the Scheduling Component find a better worker.
+    Reassign {
+        /// The evaluated `Pr(t < ExecTime < TTD)`.
+        probability: f64,
+    },
+}
+
+impl DeadlineDecision {
+    /// True for the [`DeadlineDecision::Reassign`] variant.
+    pub fn is_reassign(&self) -> bool {
+        matches!(self, DeadlineDecision::Reassign { .. })
+    }
+
+    /// The probability the decision was based on.
+    pub fn probability(&self) -> f64 {
+        match *self {
+            DeadlineDecision::Keep { probability } | DeadlineDecision::Reassign { probability } => {
+                probability
+            }
+        }
+    }
+}
+
+/// Stateless evaluator of the paper's Eq. (2)/(3) over a fitted worker
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeadlineModel {
+    config: DeadlineModelConfig,
+}
+
+impl DeadlineModel {
+    /// Creates a model with the given thresholds.
+    pub fn new(config: DeadlineModelConfig) -> Self {
+        DeadlineModel { config }
+    }
+
+    /// The thresholds in use.
+    pub fn config(&self) -> &DeadlineModelConfig {
+        &self.config
+    }
+
+    /// **Eq. (3)**: probability that this worker completes a fresh task
+    /// within `time_to_deadline` seconds, i.e. `1 − P(TTD)`.
+    ///
+    /// Works with any latency model (the paper's power law or the
+    /// empirical fallback). Degenerate horizons (`TTD ≤ 0`) give
+    /// probability 0.
+    pub fn pr_complete_before<M: LatencyCcdf + ?Sized>(
+        &self,
+        model: &M,
+        time_to_deadline: f64,
+    ) -> f64 {
+        if time_to_deadline <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - model.ccdf(time_to_deadline)).clamp(0.0, 1.0)
+    }
+
+    /// **Eq. (2)**: probability that the execution time lands inside
+    /// `(elapsed, time_to_deadline)`:
+    /// `P(elapsed) − P(TTD)` (the paper writes the equivalent
+    /// `1 − (P(TTD) + (1 − P(elapsed)))`).
+    ///
+    /// Returns 0 when the window is empty (`elapsed ≥ TTD`).
+    pub fn pr_complete_in_window<M: LatencyCcdf + ?Sized>(
+        &self,
+        model: &M,
+        elapsed: f64,
+        time_to_deadline: f64,
+    ) -> f64 {
+        if elapsed >= time_to_deadline || time_to_deadline <= 0.0 {
+            return 0.0;
+        }
+        let elapsed = elapsed.max(0.0);
+        (model.ccdf(elapsed) - model.ccdf(time_to_deadline)).clamp(0.0, 1.0)
+    }
+
+    /// Graph-construction rule: should the `(worker, task)` edge be
+    /// instantiated, given the worker's fitted model and the task's
+    /// time-to-deadline? `None` worker model (cold profile) is handled by
+    /// the caller — the paper instantiates all edges for a worker's first
+    /// `z` assignments.
+    pub fn should_instantiate_edge<M: LatencyCcdf + ?Sized>(
+        &self,
+        model: &M,
+        time_to_deadline: f64,
+    ) -> bool {
+        self.pr_complete_before(model, time_to_deadline) > self.config.edge_probability_threshold
+    }
+
+    /// In-flight rule: given the elapsed time on the current worker,
+    /// decide whether to keep or reassign the task.
+    pub fn check_in_flight<M: LatencyCcdf + ?Sized>(
+        &self,
+        model: &M,
+        elapsed: f64,
+        time_to_deadline: f64,
+    ) -> DeadlineDecision {
+        let probability = self.pr_complete_in_window(model, elapsed, time_to_deadline);
+        if probability < self.config.reassign_threshold {
+            DeadlineDecision::Reassign { probability }
+        } else {
+            DeadlineDecision::Keep { probability }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::PowerLaw;
+
+    fn model() -> PowerLaw {
+        // α = 2, k_min = 5 → P(k) = 5/k for k ≥ 5.
+        PowerLaw::new(2.0, 5.0).unwrap()
+    }
+
+    #[test]
+    fn eq3_matches_closed_form() {
+        let dm = DeadlineModel::default();
+        let m = model();
+        // P(20) = 5/20 = 0.25 → Pr(complete before 20) = 0.75.
+        assert!((dm.pr_complete_before(&m, 20.0) - 0.75).abs() < 1e-12);
+        // TTD at/below k_min → CCDF 1 → probability 0.
+        assert_eq!(dm.pr_complete_before(&m, 5.0), 0.0);
+        assert_eq!(dm.pr_complete_before(&m, 0.0), 0.0);
+        assert_eq!(dm.pr_complete_before(&m, -3.0), 0.0);
+    }
+
+    #[test]
+    fn eq2_matches_closed_form() {
+        let dm = DeadlineModel::default();
+        let m = model();
+        // P(10) − P(40) = 0.5 − 0.125 = 0.375.
+        assert!((dm.pr_complete_in_window(&m, 10.0, 40.0) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq2_empty_window_is_zero() {
+        let dm = DeadlineModel::default();
+        let m = model();
+        assert_eq!(dm.pr_complete_in_window(&m, 40.0, 40.0), 0.0);
+        assert_eq!(dm.pr_complete_in_window(&m, 50.0, 40.0), 0.0);
+        assert_eq!(dm.pr_complete_in_window(&m, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn eq2_shrinks_as_time_elapses() {
+        // As the worker keeps not finishing, the remaining window's
+        // probability must be non-increasing; this is the signal the paper
+        // exploits to detect abandoned/delayed tasks.
+        let dm = DeadlineModel::default();
+        let m = model();
+        let ttd = 60.0;
+        let mut last = f64::INFINITY;
+        for elapsed in [0.0, 5.0, 10.0, 20.0, 40.0, 55.0, 59.0] {
+            let p = dm.pr_complete_in_window(&m, elapsed, ttd);
+            assert!(p <= last + 1e-12, "probability rose at elapsed={elapsed}");
+            last = p;
+        }
+        // Just before the deadline there is almost no chance left.
+        assert!(dm.pr_complete_in_window(&m, 59.0, 60.0) < 0.02);
+    }
+
+    #[test]
+    fn eq2_before_kmin_elapsed_equals_eq3ish() {
+        // While elapsed < k_min, P(elapsed) = 1 so Eq. 2 reduces to Eq. 3.
+        let dm = DeadlineModel::default();
+        let m = model();
+        let a = dm.pr_complete_in_window(&m, 2.0, 30.0);
+        let b = dm.pr_complete_before(&m, 30.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_instantiation_threshold() {
+        let dm = DeadlineModel::new(DeadlineModelConfig {
+            edge_probability_threshold: 0.5,
+            reassign_threshold: 0.1,
+        });
+        let m = model();
+        // Pr(complete before 9) = 1 − 5/9 ≈ 0.444 < 0.5 → prune.
+        assert!(!dm.should_instantiate_edge(&m, 9.0));
+        // Pr(complete before 20) = 0.75 > 0.5 → instantiate.
+        assert!(dm.should_instantiate_edge(&m, 20.0));
+    }
+
+    #[test]
+    fn in_flight_keep_then_reassign() {
+        let dm = DeadlineModel::default(); // reassign at < 0.1
+        let m = model();
+        let ttd = 50.0; // P(50) = 0.1
+                        // Early on: P(ε) − P(50) = 1 − 0.1 = 0.9 → keep.
+        let d = dm.check_in_flight(&m, 0.0, ttd);
+        assert!(!d.is_reassign());
+        assert!((d.probability() - 0.9).abs() < 1e-12);
+        // Late: P(45) − P(50) = 5/45 − 0.1 ≈ 0.011 → reassign.
+        let d = dm.check_in_flight(&m, 45.0, ttd);
+        assert!(d.is_reassign());
+        assert!(d.probability() < 0.1);
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let keep = DeadlineDecision::Keep { probability: 0.4 };
+        let re = DeadlineDecision::Reassign { probability: 0.01 };
+        assert!(!keep.is_reassign());
+        assert!(re.is_reassign());
+        assert_eq!(keep.probability(), 0.4);
+        assert_eq!(re.probability(), 0.01);
+    }
+
+    #[test]
+    fn default_thresholds_match_paper() {
+        let cfg = DeadlineModelConfig::default();
+        assert_eq!(cfg.reassign_threshold, 0.1);
+        assert_eq!(cfg.edge_probability_threshold, 0.1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Online per-worker execution-time estimator.
+//!
+//! The Profiling Component of the REACT server stores, for every worker,
+//! the execution times of the tasks they completed. The Dynamic Assignment
+//! Component then needs a fitted power law over those times. Refitting on
+//! every observation would be wasteful (the fit is `O(n)`), so the
+//! estimator caches the fitted model and invalidates it on new samples.
+
+use crate::empirical::{EmpiricalDist, FittedModel};
+use crate::powerlaw::{FitMethod, PowerLaw};
+
+/// Configuration for an [`ExecTimeEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorConfig {
+    /// Minimum number of completed tasks before a model is produced.
+    /// The paper requires 3 completed tasks before the probabilistic
+    /// reassignment model activates.
+    pub min_samples: usize,
+    /// Keep only the most recent `window` samples (`None` = unbounded).
+    /// A sliding window lets the profile track workers whose behaviour
+    /// drifts over a long session.
+    pub window: Option<usize>,
+    /// Which MLE variant to use for the exponent.
+    pub fit_method: FitMethod,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            min_samples: 3,
+            window: None,
+            fit_method: FitMethod::Paper,
+        }
+    }
+}
+
+/// Stores a worker's observed execution times and lazily fits a
+/// [`PowerLaw`] over them.
+///
+/// `k_min` is always the smallest retained sample, matching the paper:
+/// *"The lower bound `k_min` is set as the worker's lowest measured
+/// execution time for a task."*
+#[derive(Debug, Clone)]
+pub struct ExecTimeEstimator {
+    config: EstimatorConfig,
+    samples: Vec<f64>,
+    /// Cached fit; cleared whenever `samples` changes.
+    cached: Option<PowerLaw>,
+    dirty: bool,
+}
+
+impl ExecTimeEstimator {
+    /// Creates an empty estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        ExecTimeEstimator {
+            config,
+            samples: Vec::new(),
+            cached: None,
+            dirty: false,
+        }
+    }
+
+    /// Creates an estimator with the paper's defaults (3-sample warm-up,
+    /// unbounded history, paper fit formula).
+    pub fn with_defaults() -> Self {
+        Self::new(EstimatorConfig::default())
+    }
+
+    /// The configuration this estimator was built with.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Records one completed-task execution time (seconds).
+    ///
+    /// Non-finite or non-positive observations are ignored: execution
+    /// times are measured durations and a zero/negative value indicates a
+    /// measurement bug upstream, not a real completion.
+    pub fn observe(&mut self, exec_time: f64) {
+        if !exec_time.is_finite() || exec_time <= 0.0 {
+            return;
+        }
+        self.samples.push(exec_time);
+        if let Some(w) = self.config.window {
+            if self.samples.len() > w {
+                let excess = self.samples.len() - w;
+                self.samples.drain(..excess);
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// True once enough samples exist for [`Self::model`] to return one.
+    pub fn is_warm(&self) -> bool {
+        self.samples.len() >= self.config.min_samples.max(1)
+    }
+
+    /// The smallest retained sample (the `k_min` the fit will use).
+    pub fn k_min(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |m| m.min(s)))
+            })
+    }
+
+    /// The retained samples, in arrival order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Returns the fitted power law, refitting if the sample set changed.
+    ///
+    /// Returns `None` until [`Self::is_warm`]. Fitting failures cannot
+    /// occur for warmed-up estimators because `observe` filters invalid
+    /// samples and `k_min` is taken from the samples themselves.
+    pub fn model(&mut self) -> Option<PowerLaw> {
+        if !self.is_warm() {
+            return None;
+        }
+        if self.dirty || self.cached.is_none() {
+            let k_min = self.k_min()?;
+            self.cached = PowerLaw::fit(&self.samples, k_min, self.config.fit_method).ok();
+            self.dirty = false;
+        }
+        self.cached
+    }
+
+    /// The empirical (step-CCDF) distribution of the retained samples —
+    /// the model-free alternative to [`Self::model`]. `None` until warm.
+    pub fn empirical(&self) -> Option<EmpiricalDist> {
+        if !self.is_warm() {
+            return None;
+        }
+        EmpiricalDist::from_samples(&self.samples)
+    }
+
+    /// Model selection: the power-law fit when its Kolmogorov–Smirnov
+    /// statistic against the samples is at most `ks_threshold`, the
+    /// empirical distribution otherwise. `None` until warm.
+    ///
+    /// This guards the paper's parametric assumption: a worker whose
+    /// latencies are *not* power-law shaped (bimodal, say) falls back to
+    /// the distribution-free CCDF instead of a badly-fitted tail.
+    pub fn auto_model(&mut self, ks_threshold: f64) -> Option<FittedModel> {
+        let model = self.model()?;
+        if model.ks_statistic(&self.samples) <= ks_threshold {
+            Some(FittedModel::PowerLaw(model))
+        } else {
+            self.empirical().map(FittedModel::Empirical)
+        }
+    }
+
+    /// Drops all samples and the cached model.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.cached = None;
+        self.dirty = false;
+    }
+
+    /// Sample mean of retained execution times (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cold_until_min_samples() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        est.observe(5.0);
+        est.observe(7.0);
+        assert!(!est.is_warm());
+        assert!(est.model().is_none());
+        est.observe(9.0);
+        assert!(est.is_warm());
+        assert!(est.model().is_some());
+    }
+
+    #[test]
+    fn ignores_invalid_observations() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        est.observe(f64::NAN);
+        est.observe(f64::INFINITY);
+        est.observe(-1.0);
+        est.observe(0.0);
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn k_min_tracks_smallest_sample() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        for s in [9.0, 4.0, 11.0] {
+            est.observe(s);
+        }
+        assert_eq!(est.k_min(), Some(4.0));
+        let model = est.model().unwrap();
+        assert_eq!(model.k_min(), 4.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut est = ExecTimeEstimator::new(EstimatorConfig {
+            min_samples: 1,
+            window: Some(3),
+            fit_method: FitMethod::Continuous,
+        });
+        for s in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            est.observe(s);
+        }
+        assert_eq!(est.samples(), &[3.0, 4.0, 5.0]);
+        assert_eq!(est.k_min(), Some(3.0));
+    }
+
+    #[test]
+    fn model_is_cached_until_new_sample() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        for s in [2.0, 4.0, 8.0] {
+            est.observe(s);
+        }
+        let m1 = est.model().unwrap();
+        let m2 = est.model().unwrap();
+        assert_eq!(m1, m2);
+        est.observe(16.0);
+        let m3 = est.model().unwrap();
+        assert_ne!(m1, m3, "new sample must invalidate the cached fit");
+    }
+
+    #[test]
+    fn recovers_synthetic_worker_profile() {
+        // A worker whose times follow a power law: the estimator's fitted
+        // exponent should be close to the truth.
+        let truth = crate::PowerLaw::new(2.2, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut est = ExecTimeEstimator::new(EstimatorConfig {
+            min_samples: 3,
+            window: None,
+            fit_method: FitMethod::Continuous,
+        });
+        for _ in 0..5_000 {
+            est.observe(truth.sample(&mut rng));
+        }
+        let fitted = est.model().unwrap();
+        assert!(
+            (fitted.alpha() - 2.2).abs() < 0.15,
+            "α = {}",
+            fitted.alpha()
+        );
+    }
+
+    #[test]
+    fn empirical_distribution_when_warm() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        est.observe(4.0);
+        est.observe(2.0);
+        assert!(est.empirical().is_none(), "cold estimator");
+        est.observe(8.0);
+        let emp = est.empirical().unwrap();
+        assert_eq!(emp.len(), 3);
+        assert_eq!(emp.min(), 2.0);
+        use crate::empirical::LatencyCcdf;
+        assert!((emp.ccdf(4.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_model_keeps_good_power_law_fit() {
+        // Continuous fit on continuous samples: the well-specified case.
+        // (The paper's −½-offset estimator is biased on continuous data
+        // and would need a looser threshold.)
+        let truth = crate::PowerLaw::new(2.3, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut est = ExecTimeEstimator::new(EstimatorConfig {
+            min_samples: 3,
+            window: None,
+            fit_method: FitMethod::Continuous,
+        });
+        for _ in 0..2_000 {
+            est.observe(truth.sample(&mut rng));
+        }
+        let m = est.auto_model(0.05).unwrap();
+        assert!(m.is_power_law(), "good fit should stay parametric");
+    }
+
+    #[test]
+    fn auto_model_falls_back_on_bad_fit() {
+        // Sharply bimodal latencies (2 s or 100 s, nothing between) are
+        // poorly described by any power law.
+        let mut est = ExecTimeEstimator::with_defaults();
+        for i in 0..400 {
+            est.observe(if i % 2 == 0 { 2.0 } else { 100.0 });
+        }
+        let m = est.auto_model(0.05).unwrap();
+        assert!(!m.is_power_law(), "bimodal data must fall back");
+        // A permissive threshold keeps the parametric model.
+        let m = est.auto_model(1.0).unwrap();
+        assert!(m.is_power_law());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        for s in [2.0, 4.0, 8.0] {
+            est.observe(s);
+        }
+        assert!(est.model().is_some());
+        est.reset();
+        assert!(est.is_empty());
+        assert!(est.model().is_none());
+        assert_eq!(est.k_min(), None);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let mut est = ExecTimeEstimator::with_defaults();
+        assert_eq!(est.mean(), None);
+        for s in [2.0, 4.0] {
+            est.observe(s);
+        }
+        assert_eq!(est.mean(), Some(3.0));
+    }
+}

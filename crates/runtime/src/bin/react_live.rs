@@ -1,0 +1,113 @@
+//! `react-live` — run the REACT middleware on real threads from the
+//! command line.
+//!
+//! ```text
+//! USAGE: react-live [--workers N] [--tasks N] [--rate R] [--scale S]
+//!                   [--policy react|greedy|traditional] [--seed N]
+//!
+//!   --workers N   worker-host threads (default 40)
+//!   --tasks N     tasks to submit (default 200)
+//!   --rate R      crowd arrival rate, tasks/second (default 4)
+//!   --scale S     crowd-seconds per wall-second (default 120)
+//!   --policy P    matching policy (default react)
+//!   --seed N      RNG seed (default 2013)
+//! ```
+
+use react_core::MatcherPolicy;
+use react_runtime::{LiveConfig, LiveRuntime};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: react-live [--workers N] [--tasks N] [--rate R] \
+[--scale S] [--policy react|greedy|traditional] [--seed N]";
+
+fn parse() -> Result<LiveConfig, String> {
+    let mut lc = LiveConfig {
+        n_workers: 40,
+        total_tasks: 200,
+        arrival_rate: 4.0,
+        time_scale: 120.0,
+        seed: 2013,
+        ..LiveConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                lc.n_workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--tasks" => {
+                lc.total_tasks = value("--tasks")?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?
+            }
+            "--rate" => {
+                lc.arrival_rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--scale" => {
+                lc.time_scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--seed" => {
+                lc.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--policy" => {
+                lc.config.matcher = match value("--policy")?.as_str() {
+                    "react" => MatcherPolicy::React { cycles: 1000 },
+                    "greedy" => MatcherPolicy::Greedy,
+                    "traditional" => MatcherPolicy::Traditional,
+                    other => return Err(format!("unknown policy '{other}'\n{USAGE}")),
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if lc.n_workers == 0 || lc.total_tasks == 0 {
+        return Err("--workers and --tasks must be positive".to_string());
+    }
+    Ok(lc)
+}
+
+fn main() -> ExitCode {
+    let lc = match parse() {
+        Ok(lc) => lc,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "react-live: {} workers, {} tasks @ {}/crowd-s, {}x compression, policy {}",
+        lc.n_workers,
+        lc.total_tasks,
+        lc.arrival_rate,
+        lc.time_scale,
+        lc.config.matcher.name()
+    );
+    let t0 = std::time::Instant::now();
+    let report = LiveRuntime::new(lc).run();
+    let wall = t0.elapsed().as_secs_f64();
+    println!("\nfinished in {wall:.1} wall-seconds");
+    println!("  submitted          {}", report.submitted);
+    println!("  completed          {}", report.completed);
+    println!(
+        "  met deadline       {} ({:.1}%)",
+        report.met_deadline,
+        100.0 * report.met_deadline as f64 / report.submitted.max(1) as f64
+    );
+    println!("  positive feedback  {}", report.positive_feedback);
+    println!("  Eq.(2) recalls     {}", report.recalls);
+    println!("  expired in queue   {}", report.expired);
+    println!("  matching batches   {}", report.batches);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! Message types exchanged between the runtime's threads.
+
+use react_core::{TaskId, WorkerId};
+
+/// Commands delivered to a worker-host thread's mailbox.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerCommand {
+    /// Execute this task; the host sleeps for its sampled service time
+    /// unless recalled first.
+    Assign {
+        /// The task to execute.
+        task: TaskId,
+        /// Pre-sampled execution time in crowd seconds (sampled on the
+        /// scheduler side so runs with one RNG seed stay reproducible
+        /// regardless of thread interleaving).
+        exec_crowd_secs: f64,
+    },
+    /// Abandon the given task (Eq. 2 recall) — whether it is currently
+    /// executing or still waiting in the host's local queue.
+    Recall {
+        /// The task to abandon.
+        task: TaskId,
+    },
+    /// Terminate the host thread.
+    Shutdown,
+}
+
+/// A worker's completion report back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Who finished.
+    pub worker: WorkerId,
+    /// Which task.
+    pub task: TaskId,
+    /// The worker's intrinsic quality verdict for this result.
+    pub quality_ok: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_shapes() {
+        let cmd = WorkerCommand::Assign {
+            task: TaskId(1),
+            exec_crowd_secs: 5.0,
+        };
+        assert!(matches!(cmd, WorkerCommand::Assign { .. }));
+        assert_ne!(cmd, WorkerCommand::Recall { task: TaskId(1) });
+        let done = Completion {
+            worker: WorkerId(2),
+            task: TaskId(1),
+            quality_ok: true,
+        };
+        assert_eq!(done.worker, WorkerId(2));
+    }
+}

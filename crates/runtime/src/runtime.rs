@@ -1,0 +1,317 @@
+//! The live runtime: requester + scheduler + worker hosts on real
+//! threads.
+
+use crate::clock::ScaledClock;
+use crate::messages::{Completion, WorkerCommand};
+use crate::worker_host::run_worker_host;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use react_core::{Config, ReactServer, Task, TaskId, WorkerId};
+use react_crowd::{generate_population, BehaviorParams, TaskGenerator, WorkerBehavior};
+use react_geo::BoundingBox;
+use react_sim::RngStreams;
+use std::collections::HashMap;
+use std::thread;
+
+/// Configuration of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Number of worker-host threads.
+    pub n_workers: usize,
+    /// Tasks the requester submits.
+    pub total_tasks: usize,
+    /// Poisson arrival rate in crowd tasks/second.
+    pub arrival_rate: f64,
+    /// Deadline range in crowd seconds.
+    pub deadline_range: (f64, f64),
+    /// Crowd behaviour parameters.
+    pub behavior: BehaviorParams,
+    /// Middleware configuration.
+    pub config: Config,
+    /// Crowd-seconds per wall-second (time compression).
+    pub time_scale: f64,
+    /// Scheduler control-loop period, in crowd seconds.
+    pub tick_interval: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        let mut config = Config::paper_defaults();
+        // In a live run the matcher's real wall time *is* the latency;
+        // don't also charge the modelled PlanetLab-era cost.
+        config.charge_matching_time = false;
+        LiveConfig {
+            n_workers: 25,
+            total_tasks: 100,
+            arrival_rate: 3.0,
+            deadline_range: (60.0, 120.0),
+            behavior: BehaviorParams::default(),
+            config,
+            time_scale: 60.0,
+            tick_interval: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome counters of a live run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveReport {
+    /// Tasks submitted by the requester thread.
+    pub submitted: u64,
+    /// Tasks that completed (any time).
+    pub completed: u64,
+    /// Tasks completed before their deadline.
+    pub met_deadline: u64,
+    /// Positive feedbacks recorded.
+    pub positive_feedback: u64,
+    /// Eq. (2) recalls issued.
+    pub recalls: u64,
+    /// Tasks that expired waiting in the queue.
+    pub expired: u64,
+    /// Matching batches run.
+    pub batches: u64,
+}
+
+/// Orchestrates one live run.
+pub struct LiveRuntime {
+    config: LiveConfig,
+}
+
+impl LiveRuntime {
+    /// Creates a runtime for the given configuration.
+    pub fn new(config: LiveConfig) -> Self {
+        LiveRuntime { config }
+    }
+
+    /// Runs the full scenario to completion and returns the report.
+    ///
+    /// Spawns `n_workers + 1` threads (hosts + requester); the calling
+    /// thread acts as the scheduler. All threads are joined before
+    /// returning.
+    pub fn run(self) -> LiveReport {
+        let lc = self.config;
+        let clock = ScaledClock::start(lc.time_scale);
+        let streams = RngStreams::new(lc.seed);
+        let mut pop_rng = streams.stream("population");
+        let region = BoundingBox::new(37.8, 38.2, 23.5, 24.0).expect("static bounds");
+
+        let behaviors: Vec<WorkerBehavior> =
+            generate_population(lc.n_workers, &lc.behavior, &mut pop_rng);
+
+        // Scheduler-side server.
+        let mut server = ReactServer::new(lc.config.clone(), lc.seed ^ 0xbeef);
+        let (done_tx, done_rx) = unbounded::<Completion>();
+        let mut mailboxes: Vec<Sender<WorkerCommand>> = Vec::with_capacity(lc.n_workers);
+        let mut hosts = Vec::with_capacity(lc.n_workers);
+        for (i, b) in behaviors.iter().enumerate() {
+            let id = WorkerId(i as u64);
+            server.register_worker(id, region.random_point(&mut pop_rng));
+            let (tx, rx) = unbounded::<WorkerCommand>();
+            mailboxes.push(tx);
+            let done_tx = done_tx.clone();
+            let quality = b.quality;
+            hosts.push(thread::spawn(move || {
+                run_worker_host(id, quality, clock, rx, done_tx)
+            }));
+        }
+        drop(done_tx);
+
+        // Requester thread: Poisson schedule compressed onto the wall
+        // clock.
+        let (task_tx, task_rx) = bounded::<Task>(1024);
+        let requester = {
+            let mut workload_rng = streams.stream("workload");
+            let mut generator = TaskGenerator::new(lc.arrival_rate, region)
+                .with_deadline_range(lc.deadline_range.0, lc.deadline_range.1);
+            let total = lc.total_tasks;
+            thread::spawn(move || {
+                for _ in 0..total {
+                    let (at, task) = generator.next(&mut workload_rng);
+                    // Sleep until the arrival's crowd timestamp.
+                    let wait = (at - clock.now()).max(0.0);
+                    thread::sleep(clock.to_wall(wait));
+                    if task_tx.send(task).is_err() {
+                        return; // scheduler gone
+                    }
+                }
+            })
+        };
+
+        let report = Self::scheduler_loop(
+            &lc,
+            clock,
+            &mut server,
+            &behaviors,
+            streams,
+            &mailboxes,
+            &task_rx,
+            &done_rx,
+        );
+
+        for tx in &mailboxes {
+            let _ = tx.send(WorkerCommand::Shutdown);
+        }
+        for h in hosts {
+            h.join().expect("worker host panicked");
+        }
+        requester.join().expect("requester panicked");
+        report
+    }
+
+    /// The scheduler control loop (runs on the calling thread).
+    #[allow(clippy::too_many_arguments)]
+    fn scheduler_loop(
+        lc: &LiveConfig,
+        clock: ScaledClock,
+        server: &mut ReactServer,
+        behaviors: &[WorkerBehavior],
+        streams: RngStreams,
+        mailboxes: &[Sender<WorkerCommand>],
+        task_rx: &Receiver<Task>,
+        done_rx: &Receiver<Completion>,
+    ) -> LiveReport {
+        let mut behavior_rng = streams.stream("behavior");
+        let mut report = LiveReport::default();
+        // Tracks the current live assignment so stale completions (from
+        // a race between a recall and a finish) are dropped.
+        let mut live_assignment: HashMap<TaskId, WorkerId> = HashMap::new();
+        let mut requester_done = false;
+
+        loop {
+            // Gather external events for up to one tick. Once the
+            // requester hangs up, its closed channel would make select
+            // return instantly forever (a busy spin), so it is dropped
+            // from the select set after that.
+            let deadline = clock.to_wall(lc.tick_interval);
+            let handle_done = |done: Completion,
+                               server: &mut ReactServer,
+                               live: &mut HashMap<TaskId, WorkerId>,
+                               report: &mut LiveReport| {
+                if live.get(&done.task) == Some(&done.worker) {
+                    live.remove(&done.task);
+                    if let Ok(out) =
+                        server.complete_task(done.task, done.worker, clock.now(), done.quality_ok)
+                    {
+                        report.completed += 1;
+                        if out.met_deadline {
+                            report.met_deadline += 1;
+                        }
+                        if out.positive_feedback {
+                            report.positive_feedback += 1;
+                        }
+                    }
+                }
+            };
+            if requester_done {
+                match done_rx.recv_timeout(deadline) {
+                    Ok(done) => handle_done(done, server, &mut live_assignment, &mut report),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+                }
+            } else {
+                crossbeam::channel::select! {
+                    recv(task_rx) -> msg => match msg {
+                        Ok(task) => {
+                            report.submitted += 1;
+                            server.submit_task(task, clock.now());
+                        }
+                        Err(_) => requester_done = true,
+                    },
+                    recv(done_rx) -> msg => {
+                        if let Ok(done) = msg {
+                            handle_done(done, server, &mut live_assignment, &mut report);
+                        }
+                    },
+                    default(deadline) => {}
+                }
+            }
+
+            // Control step.
+            let now = clock.now();
+            let outcome = server.tick(now);
+            report.expired += outcome.expired.len() as u64;
+            for recall in &outcome.recalls {
+                report.recalls += 1;
+                live_assignment.remove(&recall.task);
+                let _ = mailboxes[recall.worker.0 as usize]
+                    .send(WorkerCommand::Recall { task: recall.task });
+            }
+            for &(worker, task) in &outcome.assignments {
+                let exec = behaviors[worker.0 as usize].sample_exec_time(&mut behavior_rng);
+                live_assignment.insert(task, worker);
+                let _ = mailboxes[worker.0 as usize].send(WorkerCommand::Assign {
+                    task,
+                    exec_crowd_secs: exec,
+                });
+            }
+
+            let drained = requester_done && task_rx.is_empty();
+            let idle =
+                server.tasks().unassigned_count() == 0 && server.tasks().assigned().is_empty();
+            if drained && idle {
+                break;
+            }
+        }
+        report.batches = server.batches_run();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use react_core::{BatchTrigger, MatcherPolicy};
+
+    fn fast_config(matcher: MatcherPolicy) -> LiveConfig {
+        let mut config = Config::with_matcher(matcher);
+        config.charge_matching_time = false;
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: Some(1.0),
+        };
+        LiveConfig {
+            n_workers: 10,
+            total_tasks: 40,
+            arrival_rate: 4.0,
+            time_scale: 600.0, // 10 crowd-min/wall-s: whole run ≲ 3 s
+            config,
+            seed: 11,
+            ..LiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn live_run_completes_all_tasks() {
+        let report = LiveRuntime::new(fast_config(MatcherPolicy::React { cycles: 200 })).run();
+        assert_eq!(report.submitted, 40);
+        assert_eq!(
+            report.completed + report.expired,
+            40,
+            "every task completes or expires: {report:?}"
+        );
+        assert!(report.completed > 0);
+        assert!(report.met_deadline <= report.completed);
+        assert!(report.positive_feedback <= report.met_deadline);
+        assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn live_run_traditional_policy() {
+        let report = LiveRuntime::new(fast_config(MatcherPolicy::Traditional)).run();
+        assert_eq!(report.submitted, 40);
+        assert_eq!(report.recalls, 0, "traditional never recalls");
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn live_run_with_recalls_still_terminates() {
+        // High time compression + slow workers force Eq. (2) recalls.
+        let mut lc = fast_config(MatcherPolicy::React { cycles: 200 });
+        lc.behavior.delay_probability = 0.9;
+        lc.total_tasks = 30;
+        let report = LiveRuntime::new(lc).run();
+        assert_eq!(report.submitted, 30);
+        assert_eq!(report.completed + report.expired, 30);
+    }
+}

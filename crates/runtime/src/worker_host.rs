@@ -1,0 +1,216 @@
+//! The worker-host thread: one per crowd worker.
+//!
+//! Executes [`WorkerCommand::Assign`] by sleeping for the task's service
+//! time — *interruptibly*: the sleep is a `recv_deadline` on the same
+//! mailbox, so a [`WorkerCommand::Recall`] arriving mid-execution aborts
+//! the task immediately (the scheduler already rerouted it elsewhere).
+//!
+//! The host keeps a local FIFO of pending assignments: availability-aware
+//! policies never send more than one task at a time, but the Traditional
+//! (AMT-style) policy assigns blindly, and the extra tasks queue behind
+//! the current one exactly like a marketplace worker's personal to-do
+//! list.
+
+use crate::clock::ScaledClock;
+use crate::messages::{Completion, WorkerCommand};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use react_core::{TaskId, WorkerId};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Runs a worker host until [`WorkerCommand::Shutdown`] or the mailbox
+/// closes. `quality` is the worker's intrinsic positive-feedback
+/// probability; verdicts are derived from a per-worker counter hash so
+/// the host needs no RNG state.
+pub fn run_worker_host(
+    id: WorkerId,
+    quality: f64,
+    clock: ScaledClock,
+    mailbox: Receiver<WorkerCommand>,
+    completions: Sender<Completion>,
+) {
+    let mut verdict_counter: u64 = 0;
+    let mut queue: VecDeque<(TaskId, f64)> = VecDeque::new();
+    loop {
+        // Pick up the next work item: local queue first, then block on
+        // the mailbox.
+        let (task, exec_crowd_secs) = match queue.pop_front() {
+            Some(item) => item,
+            None => match mailbox.recv() {
+                Ok(WorkerCommand::Assign {
+                    task,
+                    exec_crowd_secs,
+                }) => (task, exec_crowd_secs),
+                Ok(WorkerCommand::Recall { .. }) => continue, // stale
+                Ok(WorkerCommand::Shutdown) | Err(_) => return,
+            },
+        };
+
+        // Interruptible "human work": wait out the service time while
+        // still reacting to commands.
+        let deadline = Instant::now() + clock.to_wall(exec_crowd_secs);
+        let finished = loop {
+            match mailbox.recv_deadline(deadline) {
+                Err(RecvTimeoutError::Timeout) => break true,
+                Err(RecvTimeoutError::Disconnected) => return,
+                Ok(WorkerCommand::Shutdown) => return,
+                Ok(WorkerCommand::Assign {
+                    task,
+                    exec_crowd_secs,
+                }) => queue.push_back((task, exec_crowd_secs)),
+                Ok(WorkerCommand::Recall { task: recalled }) => {
+                    if recalled == task {
+                        break false; // abandon the one in hand
+                    }
+                    queue.retain(|&(t, _)| t != recalled);
+                }
+            }
+        };
+        if finished {
+            verdict_counter += 1;
+            let quality_ok = verdict(id, verdict_counter) < quality;
+            // The scheduler hanging up mid-run is a normal shutdown
+            // race, not an error.
+            let _ = completions.send(Completion {
+                worker: id,
+                task,
+                quality_ok,
+            });
+        }
+    }
+}
+
+/// Deterministic per-(worker, completion) pseudo-uniform in [0, 1).
+fn verdict(id: WorkerId, counter: u64) -> f64 {
+    let mut z = id.0 ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use std::time::Duration;
+
+    fn spawn_host(
+        quality: f64,
+    ) -> (
+        Sender<WorkerCommand>,
+        Receiver<Completion>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (done_tx, done_rx) = unbounded();
+        let clock = ScaledClock::start(1000.0); // 1 crowd-sec = 1 wall-ms
+        let handle = std::thread::spawn(move || {
+            run_worker_host(WorkerId(1), quality, clock, cmd_rx, done_tx)
+        });
+        (cmd_tx, done_rx, handle)
+    }
+
+    #[test]
+    fn completes_assignment_after_service_time() {
+        let (cmd, done, handle) = spawn_host(1.0);
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(7),
+            exec_crowd_secs: 20.0, // 20 wall-ms
+        })
+        .unwrap();
+        let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completion.task, TaskId(7));
+        assert_eq!(completion.worker, WorkerId(1));
+        assert!(completion.quality_ok, "quality 1.0 is always positive");
+        cmd.send(WorkerCommand::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recall_aborts_execution() {
+        let (cmd, done, handle) = spawn_host(1.0);
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(1),
+            exec_crowd_secs: 60_000.0, // one wall-minute: must not finish
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        cmd.send(WorkerCommand::Recall { task: TaskId(1) }).unwrap();
+        // A recalled task must produce no completion.
+        assert!(done.recv_timeout(Duration::from_millis(100)).is_err());
+        // The host is idle again and can take new work.
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(2),
+            exec_crowd_secs: 5.0,
+        })
+        .unwrap();
+        let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completion.task, TaskId(2));
+        drop(cmd);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn double_booked_tasks_queue_fifo() {
+        let (cmd, done, handle) = spawn_host(1.0);
+        for t in [1u64, 2, 3] {
+            cmd.send(WorkerCommand::Assign {
+                task: TaskId(t),
+                exec_crowd_secs: 10.0,
+            })
+            .unwrap();
+        }
+        let order: Vec<TaskId> = (0..3)
+            .map(|_| done.recv_timeout(Duration::from_secs(5)).unwrap().task)
+            .collect();
+        assert_eq!(order, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        drop(cmd);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recall_of_queued_task_removes_it() {
+        let (cmd, done, handle) = spawn_host(1.0);
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(1),
+            exec_crowd_secs: 50.0,
+        })
+        .unwrap();
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(2),
+            exec_crowd_secs: 5.0,
+        })
+        .unwrap();
+        cmd.send(WorkerCommand::Recall { task: TaskId(2) }).unwrap();
+        // Task 1 completes; task 2 never does.
+        let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completion.task, TaskId(1));
+        assert!(done.recv_timeout(Duration::from_millis(150)).is_err());
+        drop(cmd);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stale_recall_is_harmless_and_drop_terminates() {
+        let (cmd, done, handle) = spawn_host(0.0);
+        cmd.send(WorkerCommand::Recall { task: TaskId(9) }).unwrap();
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(3),
+            exec_crowd_secs: 1.0,
+        })
+        .unwrap();
+        let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(!completion.quality_ok, "quality 0.0 is never positive");
+        drop(cmd); // channel closes → host exits
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn verdict_is_uniform_ish() {
+        let n = 10_000;
+        let below_half =
+            (0..n).filter(|&i| verdict(WorkerId(9), i) < 0.5).count() as f64 / n as f64;
+        assert!((below_half - 0.5).abs() < 0.03, "fraction {below_half}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests over the probability substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use react::prob::{
+    DeadlineModel, DeadlineModelConfig, EstimatorConfig, ExecTimeEstimator, FitMethod, PowerLaw,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing(
+        alpha in 1.01f64..8.0,
+        k_min in 0.1f64..100.0,
+        a in 0.0f64..1e4,
+        b in 0.0f64..1e4,
+    ) {
+        let pl = PowerLaw::new(alpha, k_min).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(pl.ccdf(lo) + 1e-12 >= pl.ccdf(hi));
+        prop_assert!((0.0..=1.0).contains(&pl.ccdf(a)));
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip(alpha in 1.05f64..6.0, k_min in 0.5f64..50.0, q in 0.0f64..0.999) {
+        let pl = PowerLaw::new(alpha, k_min).unwrap();
+        let k = pl.quantile(q);
+        prop_assert!(k >= k_min);
+        prop_assert!((pl.cdf(k) - q).abs() < 1e-6);
+    }
+
+    #[test]
+    fn samples_respect_support_and_fit_recovers(
+        alpha in 1.5f64..4.0,
+        k_min in 1.0f64..20.0,
+        seed in 0u64..50,
+    ) {
+        let pl = PowerLaw::new(alpha, k_min).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let samples = pl.sample_n(&mut rng, 4000);
+        prop_assert!(samples.iter().all(|&s| s >= k_min));
+        let fitted = PowerLaw::fit(&samples, k_min, FitMethod::Continuous).unwrap();
+        // Generous statistical tolerance at n = 4000.
+        prop_assert!((fitted.alpha() - alpha).abs() < 0.35,
+            "α {} fitted as {}", alpha, fitted.alpha());
+    }
+
+    #[test]
+    fn eq2_probability_is_valid_and_bounded_by_eq3(
+        alpha in 1.1f64..5.0,
+        k_min in 0.5f64..30.0,
+        elapsed in 0.0f64..200.0,
+        extra in 0.1f64..200.0,
+    ) {
+        let pl = PowerLaw::new(alpha, k_min).unwrap();
+        let model = DeadlineModel::new(DeadlineModelConfig::default());
+        let ttd = elapsed + extra;
+        let p_window = model.pr_complete_in_window(&pl, elapsed, ttd);
+        let p_total = model.pr_complete_before(&pl, ttd);
+        prop_assert!((0.0..=1.0).contains(&p_window));
+        // The window probability can never exceed the total probability
+        // of finishing before the deadline… plus the mass below k_min
+        // (when elapsed < k_min the two coincide).
+        prop_assert!(p_window <= 1.0);
+        if elapsed <= k_min {
+            prop_assert!((p_window - p_total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eq2_monotone_in_elapsed(
+        alpha in 1.1f64..5.0,
+        k_min in 0.5f64..30.0,
+        ttd in 1.0f64..300.0,
+        e1 in 0.0f64..300.0,
+        e2 in 0.0f64..300.0,
+    ) {
+        let pl = PowerLaw::new(alpha, k_min).unwrap();
+        let model = DeadlineModel::new(DeadlineModelConfig::default());
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(
+            model.pr_complete_in_window(&pl, lo, ttd) + 1e-12
+                >= model.pr_complete_in_window(&pl, hi, ttd)
+        );
+    }
+
+    #[test]
+    fn estimator_kmin_is_smallest_retained_sample(
+        samples in proptest::collection::vec(0.01f64..1000.0, 1..50),
+        window in proptest::option::of(1usize..20),
+    ) {
+        let mut est = ExecTimeEstimator::new(EstimatorConfig {
+            min_samples: 1,
+            window,
+            fit_method: FitMethod::Paper,
+        });
+        for &s in &samples {
+            est.observe(s);
+        }
+        let retained: Vec<f64> = match window {
+            Some(w) if samples.len() > w => samples[samples.len() - w..].to_vec(),
+            _ => samples.clone(),
+        };
+        let expect = retained.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(est.k_min(), Some(expect));
+        // The fitted model (if any) uses that k_min.
+        if let Some(m) = est.model() {
+            prop_assert_eq!(m.k_min(), expect);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the simulation kernel and the spatial substrate.
+
+use proptest::prelude::*;
+use react::geo::{BoundingBox, GeoPoint, RegionGrid, RegionRouter, TieredGrid};
+use react::sim::{RngStreams, SimTime, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simulator_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0.0f64..1e6, 1..200)
+    ) {
+        let mut sim: Simulator<usize> = Simulator::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_secs(t), i);
+        }
+        let mut last = 0.0;
+        let mut popped = 0;
+        while let Some((at, _)) = sim.next_event() {
+            prop_assert!(at.as_secs() >= last);
+            last = at.as_secs();
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert_eq!(sim.processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_fifo(
+        n in 1usize..100, t in 0.0f64..100.0
+    ) {
+        let mut sim: Simulator<usize> = Simulator::new();
+        for i in 0..n {
+            sim.schedule_at(SimTime::from_secs(t), i);
+        }
+        let order: Vec<usize> =
+            std::iter::from_fn(|| sim.next_event().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rng_streams_reproducible_and_label_sensitive(seed in any::<u64>()) {
+        use rand::Rng;
+        let streams = RngStreams::new(seed);
+        let a: Vec<u64> = {
+            let mut r = streams.stream("alpha");
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = streams.stream("alpha");
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = streams.stream("beta");
+            (0..8).map(|_| r.gen()).collect()
+        };
+        prop_assert_eq!(&a, &a2);
+        prop_assert_ne!(&a, &b);
+    }
+
+    #[test]
+    fn grid_locate_is_the_inverse_of_cell(
+        rows in 1u32..12, cols in 1u32..12,
+        lat in 0.0f64..0.999, lon in 0.0f64..0.999,
+    ) {
+        let area = BoundingBox::new(0.0, 1.0, 0.0, 1.0).unwrap();
+        let grid = RegionGrid::new(area, rows, cols).unwrap();
+        let p = GeoPoint::new(lat, lon);
+        let id = grid.locate(&p).expect("inside the area");
+        let cell = grid.cell(id).expect("valid id");
+        prop_assert!(cell.contains(&p));
+        // And the point belongs to exactly one cell.
+        let owners = grid
+            .region_ids()
+            .filter(|&r| grid.cell(r).unwrap().contains(&p))
+            .count();
+        prop_assert_eq!(owners, 1);
+    }
+
+    #[test]
+    fn tiered_grid_parents_are_consistent(
+        rows in 1u32..9, cols in 1u32..9,
+        lat in 0.0f64..0.999, lon in 0.0f64..0.999,
+    ) {
+        let area = BoundingBox::new(0.0, 1.0, 0.0, 1.0).unwrap();
+        let tiers = TieredGrid::new(area, rows, cols).unwrap();
+        let p = GeoPoint::new(lat, lon);
+        let ids = tiers.locate_all(&p);
+        prop_assert_eq!(ids.len(), tiers.depth());
+        // Walking parents from the finest tier reproduces coarser
+        // containment: each tier's located cell contains the point.
+        for (tier, id) in ids.iter().enumerate() {
+            let cell = tiers.tier(tier).unwrap().cell(*id).unwrap();
+            prop_assert!(cell.contains(&p));
+        }
+    }
+
+    #[test]
+    fn router_always_routes_interior_points(
+        rows in 1u32..6, cols in 1u32..6,
+        points in proptest::collection::vec((0.0f64..0.999, 0.0f64..0.999), 1..50),
+    ) {
+        let area = BoundingBox::new(0.0, 1.0, 0.0, 1.0).unwrap();
+        let grid = RegionGrid::new(area, rows, cols).unwrap();
+        let mut router = RegionRouter::new(&grid, 10);
+        for &(lat, lon) in &points {
+            let p = GeoPoint::new(lat, lon);
+            prop_assert!(router.register(&p).is_some());
+        }
+        // Splitting never loses coverage.
+        router.split_overloaded();
+        for &(lat, lon) in &points {
+            let p = GeoPoint::new(lat, lon);
+            prop_assert!(router.route(&p).is_some());
+        }
+    }
+
+    #[test]
+    fn haversine_is_a_metric_sample(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let d = a.distance_km(&b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        prop_assert!(a.distance_km(&a) < 1e-9);
+        // Never more than half the Earth's circumference.
+        prop_assert!(d <= std::f64::consts::PI * react::geo::EARTH_RADIUS_KM + 1.0);
+    }
+}
