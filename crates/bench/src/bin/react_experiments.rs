@@ -7,6 +7,7 @@
 //!   fig3, fig4      matching time / matching weight micro-benchmarks
 //!   fig5 … fig8     end-to-end comparison (one run serves all four)
 //!   fig9, fig10     scalability sweep
+//!   regions         serial vs parallel region execution / graph build
 //!   case            CrowdFlower case-study statistics
 //!   ablation        all design-choice ablations
 //!   all             everything above (default)
@@ -21,7 +22,7 @@
 //! Run with `--release`; the full suite at paper scale takes a few
 //! minutes, `--quick` a few seconds.
 
-use react_bench::{ablation, casestudy, endtoend, fig34, report::OutputSink, sweep};
+use react_bench::{ablation, casestudy, endtoend, fig34, regions, report::OutputSink, sweep};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -66,7 +67,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: react-experiments \
-[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|case|ablation|all] \
+[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|case|ablation|all] \
 [--quick] [--seed N] [--out DIR] [--no-csv]";
 
 fn run_fig34(cli: &Cli) {
@@ -97,6 +98,23 @@ fn run_sweep(cli: &Cli) {
     };
     params.seed = cli.seed;
     println!("{}", sweep::report(&sweep::run(&params), &cli.sink));
+}
+
+fn run_regions(cli: &Cli) {
+    let mut params = if cli.quick {
+        regions::RegionSweepParams::quick()
+    } else {
+        regions::RegionSweepParams::default()
+    };
+    params.seed = cli.seed;
+    let points = regions::run(&params);
+    let pools: &[usize] = if cli.quick {
+        &[40, 120]
+    } else {
+        &[100, 300, 1000]
+    };
+    let builds = regions::build_scaling(pools, if cli.quick { 30 } else { 100 });
+    println!("{}", regions::report(&points, &builds, &cli.sink));
 }
 
 fn run_case(cli: &Cli) {
@@ -142,12 +160,14 @@ fn main() -> ExitCode {
         "fig3" | "fig4" => run_fig34(&cli),
         "fig5" | "fig6" | "fig7" | "fig8" => run_endtoend(&cli),
         "fig9" | "fig10" => run_sweep(&cli),
+        "regions" => run_regions(&cli),
         "case" => run_case(&cli),
         "ablation" => run_ablation(&cli),
         "all" => {
             run_fig34(&cli);
             run_endtoend(&cli);
             run_sweep(&cli);
+            run_regions(&cli);
             run_case(&cli);
             run_ablation(&cli);
         }

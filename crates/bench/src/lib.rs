@@ -11,6 +11,7 @@
 //! | [`fig34`] | Fig. 3 (matching time) and Fig. 4 (matching weight) |
 //! | [`endtoend`] | Figs. 5–8 (deadline curve, feedback curve, execution times) |
 //! | [`sweep`] | Figs. 9–10 (scalability sweep) |
+//! | [`regions`] | serial-vs-parallel region execution and graph build |
 //! | [`casestudy`] | the Sec. V-C CrowdFlower case-study statistics |
 //! | [`ablation`] | the design-choice ablations listed in `DESIGN.md` |
 
@@ -20,5 +21,6 @@ pub mod ablation;
 pub mod casestudy;
 pub mod endtoend;
 pub mod fig34;
+pub mod regions;
 pub mod report;
 pub mod sweep;

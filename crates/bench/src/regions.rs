@@ -1,0 +1,337 @@
+//! Region-execution scalability sweep.
+//!
+//! Sec. III-A's answer to overload is decomposition: more regions, each
+//! with its own server. Regions share no state, so they are also the
+//! natural unit of *host* parallelism. This sweep runs the same global
+//! workload over 1–16 regions twice — once through the serial
+//! [`MultiRegionRunner::run_serial`] baseline and once through the
+//! scoped-thread [`MultiRegionRunner::run_parallel`] path — verifying
+//! the results are bit-identical and reporting the wall-clock speedup.
+//! A companion sweep does the same for the two-phase graph build
+//! (`GraphBuilder::instantiate_serial` vs `instantiate_parallel`).
+//!
+//! Speedup expectations depend on the host: on a single hardware thread
+//! (`react_core::par::parallelism() == 1`) the parallel path degrades
+//! to ~1× with scheduling overhead; with ≥ 4 cores the 8-region point
+//! should exceed 1.5×. The `identical` column must hold everywhere.
+
+use crate::report::{num, OutputSink};
+use react_core::{
+    Config, GraphBuilder, MatcherPolicy, ProfilingComponent, TaskCategory, TaskId,
+    TaskManagementComponent, WorkerId,
+};
+use react_crowd::{MultiRegionRunner, MultiRegionScenario, Scenario};
+use react_geo::GeoPoint;
+use react_metrics::Table;
+use std::time::Instant;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct RegionSweepParams {
+    /// Region grids to sweep, as `(rows, cols)` (defaults cover 1, 2,
+    /// 4, 8 and 16 regions).
+    pub grids: Vec<(u32, u32)>,
+    /// Logical tasks per region (the global workload scales with the
+    /// region count so per-server load stays constant).
+    pub tasks_per_region: usize,
+    /// Workers per region.
+    pub workers_per_region: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RegionSweepParams {
+    fn default() -> Self {
+        RegionSweepParams {
+            grids: vec![(1, 1), (2, 1), (2, 2), (4, 2), (4, 4)],
+            tasks_per_region: 120,
+            workers_per_region: 30,
+            seed: 42,
+        }
+    }
+}
+
+impl RegionSweepParams {
+    /// Shortened runs for tests/CI.
+    pub fn quick() -> Self {
+        RegionSweepParams {
+            grids: vec![(1, 1), (2, 2), (4, 2)],
+            tasks_per_region: 40,
+            workers_per_region: 12,
+            seed: 42,
+        }
+    }
+}
+
+/// One region-count measurement.
+#[derive(Debug, Clone)]
+pub struct RegionSweepPoint {
+    /// Number of regions (`rows × cols`).
+    pub regions: usize,
+    /// Wall-clock seconds of the serial baseline.
+    pub serial_secs: f64,
+    /// Wall-clock seconds of the scoped-thread path.
+    pub parallel_secs: f64,
+    /// Whether the two reports were bit-identical (must always hold).
+    pub identical: bool,
+    /// Area-wide deadline-met count (sanity anchor across paths).
+    pub met_deadline: u64,
+}
+
+impl RegionSweepPoint {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Runs the region-execution sweep.
+pub fn run(params: &RegionSweepParams) -> Vec<RegionSweepPoint> {
+    params
+        .grids
+        .iter()
+        .map(|&(rows, cols)| {
+            let regions = (rows * cols) as usize;
+            let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, params.seed);
+            global.label = format!("regions-{regions}");
+            global.n_workers = params.workers_per_region * regions;
+            global.arrival_rate = 2.0 * regions as f64;
+            global.total_tasks = params.tasks_per_region * regions;
+            let runner = MultiRegionRunner::new(MultiRegionScenario { global, rows, cols });
+            let t = Instant::now();
+            let serial = runner.run_serial();
+            let serial_secs = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let parallel = runner.run_parallel();
+            let parallel_secs = t.elapsed().as_secs_f64();
+            RegionSweepPoint {
+                regions,
+                serial_secs,
+                parallel_secs,
+                identical: serial.identical(&parallel),
+                met_deadline: serial.met_deadline(),
+            }
+        })
+        .collect()
+}
+
+/// One graph-build measurement.
+#[derive(Debug, Clone)]
+pub struct BuildSweepPoint {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Unassigned-task count.
+    pub tasks: usize,
+    /// Edges in the built graph.
+    pub edges: usize,
+    /// Wall-clock seconds of the serial phase-B pass.
+    pub serial_secs: f64,
+    /// Wall-clock seconds of the scoped-thread phase-B pass.
+    pub parallel_secs: f64,
+    /// Whether both passes produced identical graphs (must hold).
+    pub identical: bool,
+}
+
+impl BuildSweepPoint {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Sweeps the two-phase graph build over growing worker pools,
+/// comparing serial and parallel phase-B instantiation.
+pub fn build_scaling(pool_sizes: &[usize], tasks: usize) -> Vec<BuildSweepPoint> {
+    let threads = react_core::par::parallelism();
+    let config = Config::with_matcher(MatcherPolicy::React { cycles: 200 });
+    pool_sizes
+        .iter()
+        .map(|&n_workers| {
+            let here = GeoPoint::new(37.98, 23.72);
+            let mut profiling = ProfilingComponent::default();
+            for w in 0..n_workers as u64 {
+                profiling.register(WorkerId(w), here).unwrap();
+                // Season every worker past training with a spread of
+                // latencies so phase A fits real models and Eq. (3)
+                // pruning actually runs.
+                let base = 1.0 + (w % 7) as f64 * 9.0;
+                for s in 0..3u64 {
+                    profiling.record_assignment(WorkerId(w)).unwrap();
+                    profiling
+                        .record_completion(
+                            WorkerId(w),
+                            TaskCategory((w % 2) as u32),
+                            base + s as f64,
+                            true,
+                        )
+                        .unwrap();
+                }
+            }
+            let mut tm = TaskManagementComponent::new();
+            for t in 0..tasks as u64 {
+                let deadline = 20.0 + (t % 5) as f64 * 30.0;
+                tm.submit(
+                    react_core::Task::new(
+                        TaskId(t),
+                        here,
+                        deadline,
+                        0.05,
+                        TaskCategory((t % 2) as u32),
+                        "bench",
+                    ),
+                    0.0,
+                )
+                .unwrap();
+            }
+            let builder = GraphBuilder::prepare(&config, &mut profiling);
+            let t0 = Instant::now();
+            let (serial, _, _, sp) = builder.instantiate_serial(&profiling, &tm, 0.0);
+            let serial_secs = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let (parallel, _, _, pp) = builder.instantiate_parallel(&profiling, &tm, 0.0, threads);
+            let parallel_secs = t0.elapsed().as_secs_f64();
+            BuildSweepPoint {
+                workers: n_workers,
+                tasks,
+                edges: serial.n_edges(),
+                serial_secs,
+                parallel_secs,
+                identical: serial.edges() == parallel.edges() && sp == pp,
+            }
+        })
+        .collect()
+}
+
+/// Prints both scalability tables and archives the CSVs.
+pub fn report(
+    points: &[RegionSweepPoint],
+    builds: &[BuildSweepPoint],
+    sink: &OutputSink,
+) -> String {
+    let threads = react_core::par::parallelism();
+    let mut regions_table =
+        Table::new(&["regions", "serial s", "parallel s", "speedup", "identical"]).with_title(
+            format!("Region execution — serial vs parallel ({threads} thread(s))"),
+        );
+    let mut rows = vec![vec![
+        "regions".to_string(),
+        "serial_secs".to_string(),
+        "parallel_secs".to_string(),
+        "speedup".to_string(),
+        "identical".to_string(),
+        "met_deadline".to_string(),
+    ]];
+    for p in points {
+        regions_table.add_row(vec![
+            p.regions.to_string(),
+            format!("{:.4}", p.serial_secs),
+            format!("{:.4}", p.parallel_secs),
+            format!("{:.2}x", p.speedup()),
+            p.identical.to_string(),
+        ]);
+        rows.push(vec![
+            p.regions.to_string(),
+            num(p.serial_secs),
+            num(p.parallel_secs),
+            num(p.speedup()),
+            p.identical.to_string(),
+            p.met_deadline.to_string(),
+        ]);
+    }
+    sink.write("region_scalability", &rows);
+
+    let mut build_table = Table::new(&[
+        "workers",
+        "tasks",
+        "edges",
+        "serial s",
+        "parallel s",
+        "speedup",
+        "identical",
+    ])
+    .with_title(format!(
+        "Graph build — serial vs parallel phase B ({threads} thread(s))"
+    ));
+    let mut rows = vec![vec![
+        "workers".to_string(),
+        "tasks".to_string(),
+        "edges".to_string(),
+        "serial_secs".to_string(),
+        "parallel_secs".to_string(),
+        "speedup".to_string(),
+        "identical".to_string(),
+    ]];
+    for b in builds {
+        build_table.add_row(vec![
+            b.workers.to_string(),
+            b.tasks.to_string(),
+            b.edges.to_string(),
+            format!("{:.5}", b.serial_secs),
+            format!("{:.5}", b.parallel_secs),
+            format!("{:.2}x", b.speedup()),
+            b.identical.to_string(),
+        ]);
+        rows.push(vec![
+            b.workers.to_string(),
+            b.tasks.to_string(),
+            b.edges.to_string(),
+            num(b.serial_secs),
+            num(b.parallel_secs),
+            num(b.speedup()),
+            b.identical.to_string(),
+        ]);
+    }
+    sink.write("graph_build_scalability", &rows);
+    format!("{}\n{}", regions_table.render(), build_table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_sweep_is_deterministic_across_paths() {
+        let points = run(&RegionSweepParams::quick());
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.identical, "{} regions diverged", p.regions);
+            assert!(p.serial_secs > 0.0 && p.parallel_secs > 0.0);
+            assert!(p.speedup().is_finite());
+            assert!(p.met_deadline > 0);
+        }
+        assert_eq!(
+            points.iter().map(|p| p.regions).collect::<Vec<_>>(),
+            vec![1, 4, 8]
+        );
+    }
+
+    #[test]
+    fn build_sweep_produces_identical_graphs() {
+        let builds = build_scaling(&[40, 120], 30);
+        for b in &builds {
+            assert!(b.identical, "{} workers diverged", b.workers);
+            assert!(b.edges > 0, "seasoned pool must instantiate edges");
+        }
+    }
+
+    #[test]
+    fn report_renders_and_archives() {
+        let points = run(&RegionSweepParams::quick());
+        let builds = build_scaling(&[40], 20);
+        let dir = std::env::temp_dir().join("react_regions_test");
+        let text = report(&points, &builds, &OutputSink::to_dir(&dir));
+        assert!(text.contains("Region execution"));
+        assert!(text.contains("Graph build"));
+        assert!(dir.join("region_scalability.csv").exists());
+        assert!(dir.join("graph_build_scalability.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

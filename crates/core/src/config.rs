@@ -1,10 +1,7 @@
 //! Middleware configuration.
 
 use crate::weight::WeightFunction;
-use react_matching::{
-    AuctionMatcher, GreedyMatcher, HopcroftKarpMatcher, HungarianMatcher, Matcher,
-    MetropolisMatcher, RandomMatcher, ReactMatcher,
-};
+use react_matching::{Matcher, MatcherSpec};
 use react_prob::{DeadlineModelConfig, EstimatorConfig};
 
 /// Which latency distribution the deadline model evaluates Eq. (2)/(3)
@@ -57,23 +54,27 @@ pub enum MatcherPolicy {
 }
 
 impl MatcherPolicy {
-    /// Instantiates the matcher. `n_edges` lets the adaptive policy size
-    /// its cycle budget to the batch at hand.
-    pub fn build(&self, n_edges: usize) -> Box<dyn Matcher> {
+    /// The matching-layer descriptor of this policy. Algorithm dispatch
+    /// lives behind it in `react_matching::engine`; this enum keeps only
+    /// the *scheduler-level* semantics (model use, availability).
+    pub fn spec(&self) -> MatcherSpec {
         match *self {
-            MatcherPolicy::React { cycles } => Box::new(ReactMatcher::with_cycles(cycles)),
-            MatcherPolicy::ReactAdaptive { kappa } => Box::new(ReactMatcher::with_cycles(
-                ((n_edges as f64 * kappa).ceil() as usize).max(1),
-            )),
-            MatcherPolicy::Metropolis { cycles } => {
-                Box::new(MetropolisMatcher::with_cycles(cycles))
-            }
-            MatcherPolicy::Greedy => Box::new(GreedyMatcher),
-            MatcherPolicy::Traditional => Box::new(RandomMatcher),
-            MatcherPolicy::Hungarian => Box::new(HungarianMatcher),
-            MatcherPolicy::Auction => Box::new(AuctionMatcher::default()),
-            MatcherPolicy::MaxCardinality => Box::new(HopcroftKarpMatcher),
+            MatcherPolicy::React { cycles } => MatcherSpec::React { cycles },
+            MatcherPolicy::ReactAdaptive { kappa } => MatcherSpec::ReactAdaptive { kappa },
+            MatcherPolicy::Metropolis { cycles } => MatcherSpec::Metropolis { cycles },
+            MatcherPolicy::Greedy => MatcherSpec::Greedy,
+            MatcherPolicy::Traditional => MatcherSpec::Traditional,
+            MatcherPolicy::Hungarian => MatcherSpec::Hungarian,
+            MatcherPolicy::Auction => MatcherSpec::Auction,
+            MatcherPolicy::MaxCardinality => MatcherSpec::MaxCardinality,
         }
+    }
+
+    /// Instantiates the matcher. `n_edges` lets the adaptive policy size
+    /// its cycle budget to the batch at hand. Batch loops should prefer
+    /// a [`react_matching::MatcherEngine`] over per-batch builds.
+    pub fn build(&self, n_edges: usize) -> Box<dyn Matcher> {
+        self.spec().build(n_edges)
     }
 
     /// Whether this policy uses the probabilistic deadline model
@@ -97,16 +98,7 @@ impl MatcherPolicy {
 
     /// Stable name for reports (matches `Matcher::name`).
     pub fn name(&self) -> &'static str {
-        match self {
-            MatcherPolicy::React { .. } => "react",
-            MatcherPolicy::ReactAdaptive { .. } => "react",
-            MatcherPolicy::Metropolis { .. } => "metropolis",
-            MatcherPolicy::Greedy => "greedy",
-            MatcherPolicy::Traditional => "traditional",
-            MatcherPolicy::Hungarian => "hungarian",
-            MatcherPolicy::Auction => "auction",
-            MatcherPolicy::MaxCardinality => "hopcroft-karp",
-        }
+        self.spec().name()
     }
 }
 

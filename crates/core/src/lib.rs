@@ -52,6 +52,7 @@ pub mod dynamic;
 pub mod error;
 pub mod events;
 pub mod ids;
+pub mod par;
 pub mod persist;
 pub mod profiling;
 pub mod scheduling;
@@ -67,8 +68,8 @@ pub use events::{verify_lifecycles, AuditLog, TaskEvent, TaskEventKind};
 pub use ids::{TaskCategory, TaskId, WorkerId};
 pub use persist::{export_profiles, import_profiles, PersistError};
 pub use profiling::{Availability, ProfilingComponent, WorkerProfile};
-pub use scheduling::{BatchResult, SchedulingComponent};
-pub use server::{ReactServer, TickOutcome};
+pub use scheduling::{BatchResult, GraphBuilder, SchedulingComponent, WorkerRow};
+pub use server::{ReactServer, StageTimings, TickOutcome};
 pub use task::{Task, TaskState};
 pub use task_mgmt::TaskManagementComponent;
 pub use weight::WeightFunction;

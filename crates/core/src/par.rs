@@ -1,0 +1,58 @@
+//! Parallel-execution helpers shared by the workspace.
+//!
+//! The parallel code paths (phase-B graph instantiation here, region
+//! fan-out in `react-crowd`) use plain `std::thread::scope` workers and
+//! are always compiled; the `parallel` cargo feature only flips the
+//! *default* dispatch of the combined entry points. Thread count is
+//! resolved once per call site through [`parallelism`], which honours
+//! the `REACT_PARALLEL_THREADS` environment variable so CI can force a
+//! single-threaded run of the very same code paths.
+
+/// Environment variable overriding the worker-thread count (the
+/// `RAYON_NUM_THREADS` analogue; `1` forces the serial path).
+pub const THREADS_ENV: &str = "REACT_PARALLEL_THREADS";
+
+/// The effective worker-thread count for parallel stages: the
+/// [`THREADS_ENV`] variable when set to a positive integer, otherwise
+/// the hardware parallelism reported by the OS.
+pub fn parallelism() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Splits `n` items over at most `threads` workers; returns the chunk
+/// length (≥ 1) so `chunks(len)` yields one contiguous slice per worker.
+pub fn chunk_len(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_is_positive() {
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn chunk_len_covers_all_items() {
+        for n in 0..40usize {
+            for threads in 1..8usize {
+                let len = chunk_len(n, threads);
+                assert!(len >= 1);
+                // `chunks(len)` yields ceil(n/len) slices ≤ threads for n > 0.
+                if n > 0 {
+                    assert!(n.div_ceil(len) <= threads.max(1));
+                }
+            }
+        }
+    }
+}

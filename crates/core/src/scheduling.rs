@@ -18,14 +18,28 @@
 //! completed tasks) cannot be evaluated by Eq. (3); they are instantiated
 //! optimistically with their current `F`, consistent with the paper's
 //! intent that pruning only applies once a profile exists.
+//!
+//! Construction runs in two phases through [`GraphBuilder`]:
+//!
+//! * **Phase A** ([`GraphBuilder::prepare`]) — one *mutable* pass over
+//!   the worker pool that refits each worker's lazily-cached latency
+//!   model and snapshots everything edge instantiation needs into
+//!   [`WorkerRow`]s.
+//! * **Phase B** ([`GraphBuilder::instantiate`]) — pure edge
+//!   instantiation over the precomputed rows against immutable state.
+//!   Each row's edges are independent, so phase B can fan rows out over
+//!   scoped threads ([`GraphBuilder::instantiate_parallel`]) and merge
+//!   them back in row order — bit-identical to the serial pass. The
+//!   `parallel` cargo feature makes the parallel path the default for
+//!   large pools; both paths are always compiled.
 
 use crate::config::{Config, MatcherPolicy};
 use crate::ids::{TaskId, WorkerId};
-use crate::profiling::ProfilingComponent;
-use crate::task_mgmt::TaskManagementComponent;
+use crate::profiling::{ProfilingComponent, WorkerProfile};
+use crate::task_mgmt::{TaskManagementComponent, TaskRecord};
 use rand::RngCore;
-use react_matching::{BipartiteGraph, TaskIdx, WorkerIdx};
-use react_prob::DeadlineModel;
+use react_matching::{BipartiteGraph, MatchContext, MatcherEngine, TaskIdx, WorkerIdx};
+use react_prob::{DeadlineModel, FittedModel};
 
 /// The outcome of one scheduling batch.
 #[derive(Debug, Clone)]
@@ -49,6 +63,232 @@ pub struct BatchResult {
     pub pruned_edges: usize,
 }
 
+/// Phase-A product: everything phase B needs from the mutable pass over
+/// one worker's profile.
+#[derive(Debug, Clone)]
+pub struct WorkerRow {
+    /// The worker (rows keep the selection order of the pool scan).
+    pub id: WorkerId,
+    /// Training rule applies: first `z` assignments get maximum `F` and
+    /// bypass pruning.
+    pub in_training: bool,
+    /// The refit Eq. (3) latency model, when the policy uses it and the
+    /// worker is out of training.
+    pub model: Option<FittedModel>,
+}
+
+/// Two-phase assignment-graph builder (see the module docs).
+#[derive(Debug)]
+pub struct GraphBuilder<'a> {
+    config: &'a Config,
+    rows: Vec<WorkerRow>,
+}
+
+/// Pools below this size stay on the serial path even when the
+/// `parallel` feature is active — thread spawn would dominate.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_ROWS: usize = 32;
+
+impl<'a> GraphBuilder<'a> {
+    /// **Phase A**: selects the worker pool and makes the *single*
+    /// mutable pass over it — refitting each worker's lazily-cached
+    /// deadline model and snapshotting the per-worker facts — so that
+    /// phase B touches profiles only immutably (and exactly once each).
+    pub fn prepare(config: &'a Config, profiling: &mut ProfilingComponent) -> Self {
+        let workers = if config.matcher.uses_availability() {
+            profiling.available_workers()
+        } else {
+            profiling.online_workers()
+        };
+        let use_model = config.matcher.uses_probabilistic_model();
+        let rows = workers
+            .into_iter()
+            .map(|wid| {
+                let profile = profiling
+                    .profile_mut(wid)
+                    .expect("pool scan returns registered ids");
+                let in_training = profile.assignments_served() < config.training_assignments;
+                let model = if use_model && !in_training {
+                    profile.deadline_dist(config.latency_model)
+                } else {
+                    None
+                };
+                WorkerRow {
+                    id: wid,
+                    in_training,
+                    model,
+                }
+            })
+            .collect();
+        GraphBuilder { config, rows }
+    }
+
+    /// The phase-A rows, in pool order.
+    pub fn rows(&self) -> &[WorkerRow] {
+        &self.rows
+    }
+
+    /// **Phase B**: edge instantiation over the precomputed rows.
+    /// Dispatches to the parallel path for large pools when the
+    /// `parallel` feature is enabled, the serial path otherwise; both
+    /// produce bit-identical graphs.
+    pub fn instantiate(
+        &self,
+        profiling: &ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+    ) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = crate::par::parallelism();
+            if threads > 1 && self.rows.len() >= PARALLEL_MIN_ROWS {
+                return self.instantiate_parallel(profiling, tasks, now, threads);
+            }
+        }
+        self.instantiate_serial(profiling, tasks, now)
+    }
+
+    /// Phase B, single-threaded.
+    pub fn instantiate_serial(
+        &self,
+        profiling: &ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+    ) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
+        let (task_ids, recs) = Self::task_rows(tasks);
+        let deadline_model = DeadlineModel::new(self.config.deadline);
+        let mut graph = BipartiteGraph::new(self.rows.len(), task_ids.len());
+        let mut pruned = 0usize;
+        for (u, row) in self.rows.iter().enumerate() {
+            let profile = profiling
+                .profile(row.id)
+                .expect("phase-A ids stay registered");
+            let (edges, row_pruned) =
+                Self::row_edges(self.config, &deadline_model, row, profile, &recs, now);
+            Self::push_row(&mut graph, u, &edges);
+            pruned += row_pruned;
+        }
+        (graph, self.worker_ids(), task_ids, pruned)
+    }
+
+    /// Phase B over scoped threads: rows are split into contiguous
+    /// chunks, each chunk's edges computed independently, then merged
+    /// back in row order — bit-identical to the serial pass. Always
+    /// compiled; the `parallel` feature only routes the default
+    /// [`GraphBuilder::instantiate`] here.
+    pub fn instantiate_parallel(
+        &self,
+        profiling: &ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+        threads: usize,
+    ) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
+        let (task_ids, recs) = Self::task_rows(tasks);
+        let deadline_model = DeadlineModel::new(self.config.deadline);
+        // One immutable profile lookup per worker, like the serial pass.
+        let profiles: Vec<&WorkerProfile> = self
+            .rows
+            .iter()
+            .map(|row| {
+                profiling
+                    .profile(row.id)
+                    .expect("phase-A ids stay registered")
+            })
+            .collect();
+        let n = self.rows.len();
+        let mut per_row: Vec<(Vec<(u32, f64)>, usize)> = vec![(Vec::new(), 0); n];
+        let chunk = crate::par::chunk_len(n, threads);
+        std::thread::scope(|scope| {
+            let recs = &recs;
+            let deadline_model = &deadline_model;
+            let config = self.config;
+            for ((row_chunk, profile_chunk), out_chunk) in self
+                .rows
+                .chunks(chunk)
+                .zip(profiles.chunks(chunk))
+                .zip(per_row.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for ((row, profile), out) in row_chunk
+                        .iter()
+                        .zip(profile_chunk.iter())
+                        .zip(out_chunk.iter_mut())
+                    {
+                        *out = Self::row_edges(config, deadline_model, row, profile, recs, now);
+                    }
+                });
+            }
+        });
+        // Deterministic merge in row order.
+        let mut graph = BipartiteGraph::new(n, task_ids.len());
+        let mut pruned = 0usize;
+        for (u, (edges, row_pruned)) in per_row.iter().enumerate() {
+            Self::push_row(&mut graph, u, edges);
+            pruned += row_pruned;
+        }
+        (graph, self.worker_ids(), task_ids, pruned)
+    }
+
+    fn worker_ids(&self) -> Vec<WorkerId> {
+        self.rows.iter().map(|r| r.id).collect()
+    }
+
+    fn task_rows(tasks: &TaskManagementComponent) -> (Vec<TaskId>, Vec<&TaskRecord>) {
+        let task_ids: Vec<TaskId> = tasks.unassigned().to_vec();
+        let recs = task_ids
+            .iter()
+            .map(|&tid| tasks.record(tid).expect("unassigned ids are tracked"))
+            .collect();
+        (task_ids, recs)
+    }
+
+    /// The pure per-row kernel shared by both phase-B paths: the edges
+    /// (task index, weight) one worker contributes, plus how many of
+    /// their candidate edges the two pruning rules dropped.
+    fn row_edges(
+        config: &Config,
+        deadline_model: &DeadlineModel,
+        row: &WorkerRow,
+        profile: &WorkerProfile,
+        recs: &[&TaskRecord],
+        now: f64,
+    ) -> (Vec<(u32, f64)>, usize) {
+        let mut edges = Vec::new();
+        let mut pruned = 0usize;
+        for (v, rec) in recs.iter().enumerate() {
+            // Pricing extension (Sec. III-C): a task whose reward falls
+            // outside the worker's declared range never gets an edge.
+            if !profile.accepts_reward(rec.task.reward) {
+                pruned += 1;
+                continue;
+            }
+            let weight = if row.in_training {
+                // Training rule: maximum F.
+                1.0
+            } else {
+                config.weight.evaluate(profile, &rec.task)
+            };
+            if let Some(m) = &row.model {
+                let ttd = rec.remaining_time(now);
+                if !deadline_model.should_instantiate_edge(m, ttd) {
+                    pruned += 1;
+                    continue;
+                }
+            }
+            edges.push((v as u32, weight));
+        }
+        (edges, pruned)
+    }
+
+    fn push_row(graph: &mut BipartiteGraph, u: usize, edges: &[(u32, f64)]) {
+        for &(v, weight) in edges {
+            graph
+                .add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v), weight)
+                .expect("indices in range, weights in [0,1]");
+        }
+    }
+}
+
 /// Stateless batch scheduler (all state lives in the components).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SchedulingComponent;
@@ -59,78 +299,32 @@ impl SchedulingComponent {
     ///
     /// `now` is the assignment timepoint used for `TimeToDeadline`
     /// (assignments made by this batch start now).
+    ///
+    /// Convenience wrapper over the two [`GraphBuilder`] phases.
     pub fn build_graph(
         config: &Config,
         profiling: &mut ProfilingComponent,
         tasks: &TaskManagementComponent,
         now: f64,
     ) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
-        let workers = if config.matcher.uses_availability() {
-            profiling.available_workers()
-        } else {
-            profiling.online_workers()
-        };
-        let task_ids: Vec<TaskId> = tasks.unassigned().to_vec();
-        let mut graph = BipartiteGraph::new(workers.len(), task_ids.len());
-        let deadline_model = DeadlineModel::new(config.deadline);
-        let use_model = config.matcher.uses_probabilistic_model();
-        let mut pruned = 0usize;
-
-        for (u, &wid) in workers.iter().enumerate() {
-            // Fetch the fitted model once per worker (lazily refit).
-            let profile = profiling
-                .profile_mut(wid)
-                .expect("available_workers returns registered ids");
-            let in_training = profile.assignments_served() < config.training_assignments;
-            let model = if use_model && !in_training {
-                profile.deadline_dist(config.latency_model)
-            } else {
-                None
-            };
-            let profile = profiling.profile(wid).expect("profile still registered");
-            for (v, &tid) in task_ids.iter().enumerate() {
-                let rec = tasks.record(tid).expect("unassigned ids are tracked");
-                // Pricing extension (Sec. III-C): a task whose reward
-                // falls outside the worker's declared range never gets
-                // an edge at all.
-                if !profile.accepts_reward(rec.task.reward) {
-                    pruned += 1;
-                    continue;
-                }
-                let weight = if in_training {
-                    // Training rule: maximum F.
-                    1.0
-                } else {
-                    config.weight.evaluate(profile, &rec.task)
-                };
-                if let Some(m) = &model {
-                    let ttd = rec.remaining_time(now);
-                    if !deadline_model.should_instantiate_edge(m, ttd) {
-                        pruned += 1;
-                        continue;
-                    }
-                }
-                graph
-                    .add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v as u32), weight)
-                    .expect("indices in range, weights in [0,1]");
-            }
-        }
-        (graph, workers, task_ids, pruned)
+        GraphBuilder::prepare(config, profiling).instantiate(profiling, tasks, now)
     }
 
-    /// Runs one batch: graph construction + matching. Does **not**
-    /// mutate component state — the server applies the assignments so it
-    /// can also charge the modelled matching latency.
-    pub fn run_batch(
+    /// The matching stage over an already-built graph: runs the
+    /// engine's (cached) matcher and assembles the [`BatchResult`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn match_built(
         config: &Config,
-        profiling: &mut ProfilingComponent,
-        tasks: &TaskManagementComponent,
-        now: f64,
+        engine: &mut MatcherEngine,
+        graph: &BipartiteGraph,
+        workers: &[WorkerId],
+        task_ids: &[TaskId],
+        pruned: usize,
+        open_tasks: usize,
         rng: &mut dyn RngCore,
     ) -> BatchResult {
-        let (graph, workers, task_ids, pruned) = Self::build_graph(config, profiling, tasks, now);
-        let matcher = config.matcher.build(graph.n_edges());
-        let matching = matcher.assign(&graph, rng);
+        let mut ctx = MatchContext::new(rng, graph.n_edges());
+        let matching = engine.assign(graph, &mut ctx);
         let assignments = matching
             .pairs
             .iter()
@@ -138,7 +332,7 @@ impl SchedulingComponent {
             .collect();
         let region_cost_units = region_cost_units(
             &config.matcher,
-            tasks.open_count(),
+            open_tasks,
             workers.len(),
             task_ids.len(),
             matching.cost_units,
@@ -148,10 +342,49 @@ impl SchedulingComponent {
             total_weight: matching.total_weight,
             cost_units: matching.cost_units,
             region_cost_units,
-            matcher_name: matcher.name(),
+            matcher_name: engine.name(),
             graph_shape: (graph.n_workers(), graph.n_tasks(), graph.n_edges()),
             pruned_edges: pruned,
         }
+    }
+
+    /// Runs one batch — graph construction + matching — reusing the
+    /// caller's [`MatcherEngine`] across batches. Does **not** mutate
+    /// component state beyond the phase-A model refits; the server
+    /// applies the assignments so it can also charge the modelled
+    /// matching latency.
+    pub fn run_batch_with_engine(
+        config: &Config,
+        engine: &mut MatcherEngine,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+        rng: &mut dyn RngCore,
+    ) -> BatchResult {
+        let (graph, workers, task_ids, pruned) = Self::build_graph(config, profiling, tasks, now);
+        Self::match_built(
+            config,
+            engine,
+            &graph,
+            &workers,
+            &task_ids,
+            pruned,
+            tasks.open_count(),
+            rng,
+        )
+    }
+
+    /// [`SchedulingComponent::run_batch_with_engine`] with a throwaway
+    /// engine — for one-off batches and tests.
+    pub fn run_batch(
+        config: &Config,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+        rng: &mut dyn RngCore,
+    ) -> BatchResult {
+        let mut engine = MatcherEngine::new(config.matcher.spec());
+        Self::run_batch_with_engine(config, &mut engine, profiling, tasks, now, rng)
     }
 }
 
@@ -414,6 +647,74 @@ mod tests {
         let small = region_cost_units(&MatcherPolicy::React { cycles: 1000 }, 100, 500, 10, 0.0);
         let big = region_cost_units(&MatcherPolicy::React { cycles: 1000 }, 200, 500, 10, 0.0);
         assert!((big / small - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn graph_builder_phases_match_combined_entry_point() {
+        let config = Config::paper_defaults();
+        let (mut p, mut tm) = setup(6, 5);
+        season_worker(&mut p, WorkerId(0), &[50.0, 80.0, 120.0]);
+        season_worker(&mut p, WorkerId(1), &[1.0, 1.5, 2.0]);
+        tm.submit(task(100, 10.0), 0.0).unwrap();
+        let builder = GraphBuilder::prepare(&config, &mut p);
+        assert_eq!(builder.rows().len(), 6);
+        let (staged, workers_a, tasks_a, pruned_a) = builder.instantiate_serial(&p, &tm, 0.0);
+        let (combined, workers_b, tasks_b, pruned_b) =
+            SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(staged.edges(), combined.edges());
+        assert_eq!(workers_a, workers_b);
+        assert_eq!(tasks_a, tasks_b);
+        assert_eq!(pruned_a, pruned_b);
+    }
+
+    #[test]
+    fn parallel_instantiation_is_bit_identical_to_serial() {
+        let config = Config::paper_defaults();
+        let (mut p, mut tm) = setup(40, 12);
+        // A mix of training, seasoned-fast and seasoned-slow workers so
+        // both pruning rules and the training rule all fire.
+        for w in 0..10 {
+            season_worker(&mut p, WorkerId(w), &[50.0, 80.0, 120.0]);
+        }
+        for w in 10..20 {
+            season_worker(&mut p, WorkerId(w), &[1.0, 1.5, 2.0]);
+        }
+        p.set_reward_range(WorkerId(21), Some((0.5, 2.0))).unwrap();
+        tm.submit(task(100, 8.0), 0.0).unwrap();
+        let builder = GraphBuilder::prepare(&config, &mut p);
+        let (serial, sw, st, sp) = builder.instantiate_serial(&p, &tm, 0.0);
+        for threads in [1, 2, 3, 8] {
+            let (par, pw, pt, pp) = builder.instantiate_parallel(&p, &tm, 0.0, threads);
+            assert_eq!(serial.edges(), par.edges(), "threads={threads}");
+            assert_eq!(sw, pw);
+            assert_eq!(st, pt);
+            assert_eq!(sp, pp);
+        }
+    }
+
+    #[test]
+    fn engine_backed_batches_match_throwaway_batches() {
+        use react_matching::MatcherEngine;
+        let config = Config::paper_defaults();
+        let (mut p, tm) = setup(10, 5);
+        let mut engine = MatcherEngine::new(config.matcher.spec());
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        for _ in 0..3 {
+            let cached = SchedulingComponent::run_batch_with_engine(
+                &config,
+                &mut engine,
+                &mut p,
+                &tm,
+                0.0,
+                &mut rng_a,
+            );
+            let fresh = SchedulingComponent::run_batch(&config, &mut p, &tm, 0.0, &mut rng_b);
+            assert_eq!(cached.assignments, fresh.assignments);
+            assert_eq!(cached.total_weight, fresh.total_weight);
+            assert_eq!(cached.matcher_name, fresh.matcher_name);
+        }
+        assert_eq!(engine.rebuilds(), 1, "fixed cycles ⇒ one build");
     }
 
     #[test]

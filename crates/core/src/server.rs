@@ -20,13 +20,43 @@ use crate::error::CoreError;
 use crate::events::{AuditLog, TaskEventKind};
 use crate::ids::{TaskId, WorkerId};
 use crate::profiling::{Availability, ProfilingComponent};
-use crate::scheduling::{BatchResult, SchedulingComponent};
+use crate::scheduling::{BatchResult, GraphBuilder, SchedulingComponent};
 use crate::task::Task;
 use crate::task_mgmt::TaskManagementComponent;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_geo::GeoPoint;
-use react_matching::CostModel;
+use react_matching::{BipartiteGraph, CostModel, MatcherEngine};
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each named stage of one tick's pipeline
+/// (expire → recall → build → match → commit).
+///
+/// Purely observational: measured with [`std::time::Instant`], so the
+/// values vary run to run and never feed back into scheduling decisions
+/// (the *modelled* scheduler latency is
+/// [`TickOutcome::matching_seconds`]). Stages that did not run this tick
+/// report 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Expiry sweep over the unassigned queue.
+    pub expire: f64,
+    /// Eq. (2) recall check over in-flight assignments.
+    pub recall: f64,
+    /// Two-phase assignment-graph construction.
+    pub build: f64,
+    /// Matcher execution over the built graph.
+    pub matching: f64,
+    /// Applying the batch: task/profile bookkeeping and audit events.
+    pub commit: f64,
+}
+
+impl StageTimings {
+    /// Total measured pipeline time of the tick.
+    pub fn total(&self) -> f64 {
+        self.expire + self.recall + self.build + self.matching + self.commit
+    }
+}
 
 /// Everything that happened during one [`ReactServer::tick`].
 #[derive(Debug, Clone, Default)]
@@ -46,6 +76,8 @@ pub struct TickOutcome {
     pub matching_seconds: f64,
     /// Full batch diagnostics when a batch ran.
     pub batch: Option<BatchResult>,
+    /// Measured wall-clock time per pipeline stage of this tick.
+    pub stage_timings: StageTimings,
 }
 
 /// Result of a completed task, for the caller's metrics.
@@ -67,6 +99,9 @@ pub struct ReactServer {
     profiling: ProfilingComponent,
     tasks: TaskManagementComponent,
     cost_model: CostModel,
+    /// The matcher engine, built once from the policy and reused across
+    /// batches (rebuilt only when an adaptive cycle budget moves).
+    engine: MatcherEngine,
     rng: SmallRng,
     /// The scheduler is busy (matching) until this instant; new batches
     /// wait for it.
@@ -83,11 +118,13 @@ impl ReactServer {
     pub fn new(config: Config, seed: u64) -> Self {
         let estimator = config.estimator;
         let audit = config.audit.then(AuditLog::new);
+        let engine = MatcherEngine::new(config.matcher.spec());
         ReactServer {
             config,
             profiling: ProfilingComponent::new(estimator),
             tasks: TaskManagementComponent::new(),
             cost_model: CostModel::paper_calibrated(),
+            engine,
             rng: SmallRng::seed_from_u64(seed),
             busy_until: 0.0,
             last_batch_at: 0.0,
@@ -145,6 +182,14 @@ impl ReactServer {
     /// Number of batches run so far.
     pub fn batches_run(&self) -> u64 {
         self.batches_run
+    }
+
+    /// How many times the matcher engine constructed a matcher — stays
+    /// at 1 across any number of batches for fixed-cycle policies;
+    /// grows only when an adaptive cycle budget changes with the
+    /// graph's edge count.
+    pub fn matcher_rebuilds(&self) -> u64 {
+        self.engine.rebuilds()
     }
 
     /// The instant until which the scheduler is busy matching.
@@ -218,21 +263,54 @@ impl ReactServer {
 
     // ----- the control step ------------------------------------------
 
-    /// One control step at time `now`: expiry sweep → Eq. (2) recalls →
-    /// batch matching (when triggered and the scheduler is free).
+    /// One control step at time `now`, as a pipeline of named stages:
+    /// **expire** → **recall** → **build** → **match** → **commit**
+    /// (the last three only when the scheduler is free and the batch
+    /// trigger fires). Per-stage wall-clock timings are surfaced in
+    /// [`TickOutcome::stage_timings`].
     pub fn tick(&mut self, now: f64) -> TickOutcome {
         let mut outcome = TickOutcome {
             effective_at: now,
             ..TickOutcome::default()
         };
 
-        // 1. Retire queued tasks that can no longer make their deadline.
-        outcome.expired = self.tasks.expire_overdue_unassigned(now);
-        for &task in &outcome.expired {
+        let t = Instant::now();
+        outcome.expired = self.stage_expire(now);
+        outcome.stage_timings.expire = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        outcome.recalls = self.stage_recall(now);
+        outcome.stage_timings.recall = t.elapsed().as_secs_f64();
+
+        if self.batch_due(now) {
+            let t = Instant::now();
+            let (graph, workers, task_ids, pruned) = self.stage_build(now);
+            outcome.stage_timings.build = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let batch = self.stage_match(&graph, &workers, &task_ids, pruned);
+            outcome.stage_timings.matching = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            self.stage_commit(now, batch, &mut outcome);
+            outcome.stage_timings.commit = t.elapsed().as_secs_f64();
+        }
+        outcome
+    }
+
+    /// Pipeline stage 1: retire queued tasks that can no longer make
+    /// their deadline.
+    fn stage_expire(&mut self, now: f64) -> Vec<TaskId> {
+        let expired = self.tasks.expire_overdue_unassigned(now);
+        for &task in &expired {
             self.record_event(now, task, TaskEventKind::Expired);
         }
+        expired
+    }
 
-        // 2. Recall in-flight assignments the model has given up on.
+    /// Pipeline stage 2: recall in-flight assignments the Eq. (2) model
+    /// has given up on.
+    fn stage_recall(&mut self, now: f64) -> Vec<Recall> {
         let recalls =
             DynamicAssignmentComponent::check(&self.config, &mut self.profiling, &self.tasks, now);
         for recall in &recalls {
@@ -247,49 +325,72 @@ impl ReactServer {
                 );
             }
         }
-        outcome.recalls = recalls;
+        recalls
+    }
 
-        // 3. Matching batch, when the scheduler is free and triggered.
-        let since_last = now - self.last_batch_at;
-        if now >= self.busy_until
+    /// Whether the scheduler is free and the batch trigger fires.
+    fn batch_due(&self, now: f64) -> bool {
+        now >= self.busy_until
             && self
                 .config
                 .batch
-                .should_fire(self.tasks.unassigned_count(), since_last)
-        {
-            let batch = SchedulingComponent::run_batch(
-                &self.config,
-                &mut self.profiling,
-                &self.tasks,
-                now,
-                &mut self.rng,
-            );
-            let seconds = if self.config.charge_matching_time {
-                self.cost_model
-                    .seconds_for(batch.matcher_name, batch.region_cost_units)
-            } else {
-                0.0
-            };
-            let effective_at = now + seconds;
-            for &(worker, task) in &batch.assignments {
-                self.tasks
-                    .mark_assigned(task, worker, effective_at)
-                    .expect("batch assigns tracked unassigned tasks");
-                self.profiling
-                    .record_assignment(worker)
-                    .expect("batch assigns registered workers");
-                self.record_event(effective_at, task, TaskEventKind::Assigned { worker });
-            }
-            self.busy_until = effective_at;
-            self.last_batch_at = now;
-            self.total_matching_seconds += seconds;
-            self.batches_run += 1;
-            outcome.assignments = batch.assignments.clone();
-            outcome.matching_seconds = seconds;
-            outcome.effective_at = effective_at;
-            outcome.batch = Some(batch);
+                .should_fire(self.tasks.unassigned_count(), now - self.last_batch_at)
+    }
+
+    /// Pipeline stage 3: two-phase graph construction.
+    fn stage_build(&mut self, now: f64) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
+        let builder = GraphBuilder::prepare(&self.config, &mut self.profiling);
+        builder.instantiate(&self.profiling, &self.tasks, now)
+    }
+
+    /// Pipeline stage 4: matching over the built graph through the
+    /// cached engine.
+    fn stage_match(
+        &mut self,
+        graph: &BipartiteGraph,
+        workers: &[WorkerId],
+        task_ids: &[TaskId],
+        pruned: usize,
+    ) -> BatchResult {
+        SchedulingComponent::match_built(
+            &self.config,
+            &mut self.engine,
+            graph,
+            workers,
+            task_ids,
+            pruned,
+            self.tasks.open_count(),
+            &mut self.rng,
+        )
+    }
+
+    /// Pipeline stage 5: apply the batch — charge the modelled matching
+    /// latency, move tasks/workers to assigned, record audit events.
+    fn stage_commit(&mut self, now: f64, batch: BatchResult, outcome: &mut TickOutcome) {
+        let seconds = if self.config.charge_matching_time {
+            self.cost_model
+                .seconds_for(batch.matcher_name, batch.region_cost_units)
+        } else {
+            0.0
+        };
+        let effective_at = now + seconds;
+        for &(worker, task) in &batch.assignments {
+            self.tasks
+                .mark_assigned(task, worker, effective_at)
+                .expect("batch assigns tracked unassigned tasks");
+            self.profiling
+                .record_assignment(worker)
+                .expect("batch assigns registered workers");
+            self.record_event(effective_at, task, TaskEventKind::Assigned { worker });
         }
-        outcome
+        self.busy_until = effective_at;
+        self.last_batch_at = now;
+        self.total_matching_seconds += seconds;
+        self.batches_run += 1;
+        outcome.assignments = batch.assignments.clone();
+        outcome.matching_seconds = seconds;
+        outcome.effective_at = effective_at;
+        outcome.batch = Some(batch);
     }
 
     // ----- completions ------------------------------------------------
@@ -546,6 +647,71 @@ mod tests {
         // Not yet ticked: task unassigned.
         assert!(s.complete_task(TaskId(1), WorkerId(1), 5.0, true).is_err());
         assert!(s.complete_task(TaskId(9), WorkerId(1), 5.0, true).is_err());
+    }
+
+    #[test]
+    fn matcher_is_cached_across_batches() {
+        let mut s = eager_server();
+        for w in 0..3 {
+            s.register_worker(WorkerId(w), here());
+        }
+        for t in 0..3u64 {
+            s.submit_task(task(t, 600.0), t as f64);
+            s.tick(t as f64);
+        }
+        assert!(s.batches_run() >= 2);
+        assert_eq!(s.matcher_rebuilds(), 1, "fixed cycles ⇒ built once");
+    }
+
+    #[test]
+    fn adaptive_matcher_rebuilds_track_edge_count_changes() {
+        let mut config = Config::paper_defaults();
+        config.matcher = MatcherPolicy::ReactAdaptive { kappa: 1.0 };
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        let mut s = ReactServer::new(config, 5).with_cost_model(CostModel::free());
+        for w in 0..4 {
+            s.register_worker(WorkerId(w), here());
+        }
+        // First batch: 4 workers × 2 tasks; second: fewer free workers,
+        // different edge count → adaptive budget moves, engine rebuilds.
+        s.submit_task(task(1, 600.0), 0.0);
+        s.submit_task(task(2, 600.0), 0.0);
+        s.tick(0.0);
+        let after_first = s.matcher_rebuilds();
+        assert_eq!(after_first, 1);
+        s.submit_task(task(3, 600.0), 1.0);
+        s.tick(1.0);
+        assert!(s.batches_run() == 2);
+        assert!(s.matcher_rebuilds() >= after_first);
+    }
+
+    #[test]
+    fn tick_reports_stage_timings() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        let out = s.tick(0.0);
+        assert_eq!(out.assignments.len(), 1, "batch ran");
+        let t = out.stage_timings;
+        for (name, v) in [
+            ("expire", t.expire),
+            ("recall", t.recall),
+            ("build", t.build),
+            ("matching", t.matching),
+            ("commit", t.commit),
+        ] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} timing invalid: {v}");
+        }
+        assert!(t.total() >= t.matching);
+        // A tick with no batch leaves the batch stages at zero.
+        let idle = s.tick(0.5);
+        assert!(idle.assignments.is_empty());
+        assert_eq!(idle.stage_timings.build, 0.0);
+        assert_eq!(idle.stage_timings.matching, 0.0);
+        assert_eq!(idle.stage_timings.commit, 0.0);
     }
 
     #[test]

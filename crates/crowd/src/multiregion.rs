@@ -70,6 +70,32 @@ impl MultiRegionReport {
         }
     }
 
+    /// Whether two multi-region reports are bit-identical across every
+    /// per-region metric, including the full per-task time series —
+    /// the check behind the parallel-execution determinism guarantee.
+    pub fn identical(&self, other: &MultiRegionReport) -> bool {
+        self.per_region.len() == other.per_region.len()
+            && self
+                .per_region
+                .iter()
+                .zip(other.per_region.iter())
+                .all(|((id_a, a), (id_b, b))| {
+                    id_a == id_b
+                        && a.received == b.received
+                        && a.completed == b.completed
+                        && a.met_deadline == b.met_deadline
+                        && a.positive_feedback == b.positive_feedback
+                        && a.expired_unassigned == b.expired_unassigned
+                        && a.reassignments == b.reassignments
+                        && a.churn_events == b.churn_events
+                        && a.batches == b.batches
+                        && a.total_matching_seconds.to_bits() == b.total_matching_seconds.to_bits()
+                        && a.sim_duration.to_bits() == b.sim_duration.to_bits()
+                        && a.exec_times == b.exec_times
+                        && a.total_times == b.total_times
+                })
+    }
+
     /// The heaviest per-region modelled matching load (seconds) — the
     /// overload signal that motivates splitting.
     pub fn max_matching_seconds(&self) -> f64 {
@@ -93,7 +119,82 @@ impl MultiRegionRunner {
 
     /// Generates the global stream, partitions it by region, and runs
     /// each region server independently.
+    ///
+    /// With the `parallel` feature the regions execute on scoped
+    /// threads ([`MultiRegionRunner::run_parallel`]); otherwise — or
+    /// when `REACT_PARALLEL_THREADS=1` — serially. Both paths produce
+    /// bit-identical reports.
     pub fn run(&self) -> MultiRegionReport {
+        #[cfg(feature = "parallel")]
+        {
+            if react_core::par::parallelism() > 1 {
+                return self.run_parallel();
+            }
+        }
+        self.run_serial()
+    }
+
+    /// The serial baseline: regions run one after another.
+    pub fn run_serial(&self) -> MultiRegionReport {
+        let per_region = self
+            .region_scenarios()
+            .into_iter()
+            .map(|(region_id, sc)| (region_id, ScenarioRunner::new(sc).run()))
+            .collect();
+        MultiRegionReport { per_region }
+    }
+
+    /// Runs the regions on parallel scoped threads, merging the reports
+    /// in deterministic region order.
+    ///
+    /// Regions share no state — each gets its own preset workload slice
+    /// and its own per-region RNG stream factory (seeded from the
+    /// global seed and the region id), so concurrent execution is
+    /// bit-identical to [`MultiRegionRunner::run_serial`]. Always
+    /// compiled; the `parallel` feature only routes the default
+    /// [`MultiRegionRunner::run`] here. Thread count is bounded by
+    /// `react_core::par::parallelism()`.
+    pub fn run_parallel(&self) -> MultiRegionReport {
+        let scenarios = self.region_scenarios();
+        let n = scenarios.len();
+        let threads = react_core::par::parallelism().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return MultiRegionReport {
+                per_region: scenarios
+                    .into_iter()
+                    .map(|(region_id, sc)| (region_id, ScenarioRunner::new(sc).run()))
+                    .collect(),
+            };
+        }
+        let mut slots: Vec<(RegionId, Option<Scenario>, Option<RunReport>)> = scenarios
+            .into_iter()
+            .map(|(region_id, sc)| (region_id, Some(sc), None))
+            .collect();
+        let chunk = react_core::par::chunk_len(n, threads);
+        std::thread::scope(|scope| {
+            for part in slots.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for (_, sc, out) in part.iter_mut() {
+                        let sc = sc.take().expect("scenario consumed once");
+                        *out = Some(ScenarioRunner::new(sc).run());
+                    }
+                });
+            }
+        });
+        MultiRegionReport {
+            per_region: slots
+                .into_iter()
+                .map(|(region_id, _, report)| {
+                    (region_id, report.expect("every region thread completed"))
+                })
+                .collect(),
+        }
+    }
+
+    /// Deterministic preparation shared by both execution paths: the
+    /// global Poisson stream, its partition by region, the worker
+    /// split, and one seeded scenario per region (in region-id order).
+    fn region_scenarios(&self) -> Vec<(RegionId, Scenario)> {
         let global = &self.scenario.global;
         let grid = RegionGrid::new(global.region, self.scenario.rows, self.scenario.cols)
             .expect("non-zero grid dimensions");
@@ -116,20 +217,19 @@ impl MultiRegionRunner {
         let base = global.n_workers / grid.len();
         let remainder = global.n_workers % grid.len();
 
-        let mut per_region = Vec::with_capacity(grid.len());
-        for region_id in grid.region_ids() {
-            let idx = region_id.0 as usize;
-            let n_workers = base + usize::from(idx < remainder);
-            let mut sc = global.clone();
-            sc.label = format!("{}-{}", global.label, region_id);
-            sc.n_workers = n_workers;
-            sc.region = grid.cell(region_id).expect("id from region_ids");
-            sc.seed = global.seed.wrapping_add(region_id.0 as u64 + 1);
-            sc.workload = Some(std::mem::take(&mut per_region_tasks[idx]));
-            let report = ScenarioRunner::new(sc).run();
-            per_region.push((region_id, report));
-        }
-        MultiRegionReport { per_region }
+        grid.region_ids()
+            .map(|region_id| {
+                let idx = region_id.0 as usize;
+                let n_workers = base + usize::from(idx < remainder);
+                let mut sc = global.clone();
+                sc.label = format!("{}-{}", global.label, region_id);
+                sc.n_workers = n_workers;
+                sc.region = grid.cell(region_id).expect("id from region_ids");
+                sc.seed = global.seed.wrapping_add(region_id.0 as u64 + 1);
+                sc.workload = Some(std::mem::take(&mut per_region_tasks[idx]));
+                (region_id, sc)
+            })
+            .collect()
     }
 }
 
@@ -203,6 +303,31 @@ mod tests {
             coarse.max_matching_seconds(),
             fine.max_matching_seconds()
         );
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial_baseline() {
+        let runner = MultiRegionRunner::new(MultiRegionScenario {
+            global: global(9),
+            rows: 2,
+            cols: 2,
+        });
+        let serial = runner.run_serial();
+        let parallel = runner.run_parallel();
+        assert!(
+            serial.identical(&parallel),
+            "parallel region execution must not perturb any result"
+        );
+        // And the default entry point matches both.
+        assert!(serial.identical(&runner.run()));
+        // Self-inequality guard: a different seed must differ.
+        let other = MultiRegionRunner::new(MultiRegionScenario {
+            global: global(10),
+            rows: 2,
+            cols: 2,
+        })
+        .run_serial();
+        assert!(!serial.identical(&other), "different seeds should differ");
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! | [`HopcroftKarpMatcher`] | extension: max *cardinality* (throughput-optimal, weight-blind) | `O(E·√V)` |
 //! | [`RandomMatcher`] | "traditional" AMT-style uniform assignment | `O(V+E)` |
 //!
+//! The [`engine`] module hosts the policy layer above the algorithms:
+//! [`MatcherSpec`] descriptors, the batch-reusing [`MatcherEngine`] and
+//! the name-keyed [`MatcherRegistry`].
+//!
 //! Every matcher reports abstract **cost units** alongside its result so
 //! the simulation can charge scheduler compute time through the
 //! calibrated [`cost::CostModel`] (see `DESIGN.md`: the paper measured a
@@ -28,6 +32,7 @@
 
 pub mod auction;
 pub mod cost;
+pub mod engine;
 pub mod graph;
 pub mod greedy;
 pub mod hopcroft_karp;
@@ -40,6 +45,7 @@ pub mod state;
 
 pub use auction::AuctionMatcher;
 pub use cost::CostModel;
+pub use engine::{MatchContext, MatcherEngine, MatcherRegistry, MatcherSpec};
 pub use graph::{BipartiteGraph, EdgeId, GraphError, TaskIdx, WorkerIdx};
 pub use greedy::GreedyMatcher;
 pub use hopcroft_karp::HopcroftKarpMatcher;

@@ -1,0 +1,85 @@
+//! Determinism guarantees of the parallel execution paths: scoped-thread
+//! region execution and scoped-thread graph instantiation must be
+//! bit-identical to their serial baselines, at any thread count.
+
+use react::core::{
+    Config, GraphBuilder, MatcherPolicy, ProfilingComponent, Task, TaskCategory, TaskId,
+    TaskManagementComponent, WorkerId,
+};
+use react::crowd::{MultiRegionRunner, MultiRegionScenario, Scenario};
+use react::geo::GeoPoint;
+
+#[test]
+fn parallel_region_execution_matches_serial() {
+    let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 21);
+    global.n_workers = 48;
+    global.arrival_rate = 4.0;
+    global.total_tasks = 160;
+    let runner = MultiRegionRunner::new(MultiRegionScenario {
+        global,
+        rows: 2,
+        cols: 2,
+    });
+    let serial = runner.run_serial();
+    let parallel = runner.run_parallel();
+    assert!(
+        serial.identical(&parallel),
+        "scoped-thread region execution diverged from the serial baseline"
+    );
+    assert!(serial.identical(&runner.run()), "default entry point");
+    assert!(serial.met_deadline() > 0, "run did real work");
+}
+
+#[test]
+fn parallel_graph_build_matches_serial_at_any_thread_count() {
+    let config = Config::with_matcher(MatcherPolicy::React { cycles: 100 });
+    let here = GeoPoint::new(37.98, 23.72);
+    let mut profiling = ProfilingComponent::default();
+    for w in 0..90u64 {
+        profiling.register(WorkerId(w), here).unwrap();
+        // Season workers past training with spread latencies so phase A
+        // fits real deadline models and Eq. (3) pruning participates.
+        let base = 1.0 + (w % 6) as f64 * 8.0;
+        for s in 0..3u64 {
+            profiling.record_assignment(WorkerId(w)).unwrap();
+            profiling
+                .record_completion(
+                    WorkerId(w),
+                    TaskCategory((w % 2) as u32),
+                    base + s as f64,
+                    true,
+                )
+                .unwrap();
+        }
+    }
+    let mut tasks = TaskManagementComponent::new();
+    for t in 0..40u64 {
+        tasks
+            .submit(
+                Task::new(
+                    TaskId(t),
+                    here,
+                    15.0 + (t % 4) as f64 * 25.0,
+                    0.05,
+                    TaskCategory((t % 2) as u32),
+                    "t",
+                ),
+                0.0,
+            )
+            .unwrap();
+    }
+    let builder = GraphBuilder::prepare(&config, &mut profiling);
+    let (serial_graph, sw, st, sp) = builder.instantiate_serial(&profiling, &tasks, 0.0);
+    assert!(
+        serial_graph.n_edges() > 0,
+        "seasoned pool instantiates edges"
+    );
+    for threads in [1, 2, 3, 7, 16] {
+        let (par_graph, pw, pt, pp) =
+            builder.instantiate_parallel(&profiling, &tasks, 0.0, threads);
+        assert_eq!(serial_graph.edges(), par_graph.edges(), "{threads} threads");
+        assert_eq!(sw, pw);
+        assert_eq!(st, pt);
+        assert_eq!(sp, pp);
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the criterion 0.5 API surface the workspace's benches
+//! use (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`) with a simple median-of-samples
+//! timer instead of criterion's full statistical machinery. Results
+//! print one line per benchmark; there are no HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the measured closure; call [`iter`](Bencher::iter).
+pub struct Bencher {
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median over the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.result = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (criterion's minimum is 10;
+    /// this harness accepts any nonzero value).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        routine(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        routine(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    fn report(&mut self, id: &str, result: Option<Duration>) {
+        match result {
+            Some(median) => {
+                println!(
+                    "{}/{}: median {:?} ({} samples)",
+                    self.name, id, median, self.sample_size
+                );
+                self.criterion.completed += 1;
+            }
+            None => println!("{}/{}: no measurement (iter never called)", self.name, id),
+        }
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.benchmark_group(name)
+            .sample_size(10)
+            .bench_function("", routine);
+        self
+    }
+
+    /// Criterion's configure-from-CLI entry point; accepted as a no-op.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function that runs each listed bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.completed, 2);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

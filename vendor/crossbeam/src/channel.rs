@@ -1,0 +1,408 @@
+//! MPMC channels in the `crossbeam::channel` API shape.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: empty and disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty but senders remain.
+    Empty,
+    /// Channel empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+/// The sending half; cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; cloneable (messages go to whichever receiver
+/// takes them first).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded channel: `send` blocks while `cap` messages wait.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake receivers blocked on an empty queue so they can
+            // observe the disconnection.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full. Fails
+    /// only when every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.chan.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self.chan.not_full.wait(st).unwrap();
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.state.lock().unwrap().receivers += 1;
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            // Wake senders blocked on a full queue so they can fail.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.chan.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Like [`recv`](Self::recv) with an upper wait bound.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.state.lock().unwrap();
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, wait) = self
+                .chan
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap();
+            st = guard;
+            if wait.timed_out() && st.queue.is_empty() {
+                return if st.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Like [`recv`](Self::recv), giving up at an absolute deadline.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let now = Instant::now();
+        self.recv_timeout(deadline.saturating_duration_since(now))
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.state.lock().unwrap();
+        if let Some(msg) = st.queue.pop_front() {
+            drop(st);
+            self.chan.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Whether no message is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.chan.state.lock().unwrap().queue.is_empty()
+    }
+
+    /// Number of currently buffered messages.
+    pub fn len(&self) -> usize {
+        self.chan.state.lock().unwrap().queue.len()
+    }
+
+    /// Blocking iterator draining the channel until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+/// Ties a disconnection result's message type to its receiver — used by
+/// the `select!` expansion so `_`-style arm patterns still infer.
+pub fn disconnected_result<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+    Err(RecvError)
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Subset of crossbeam's `select!`: any number of
+/// `recv(rx) -> msg => body` arms plus a mandatory
+/// `default(timeout) => body` arm.
+///
+/// Polls the receivers in declaration order until one yields a message
+/// (or disconnects — the arm then fires with `Err`), or the timeout
+/// elapses and the default arm fires. Polling uses a short sleep
+/// instead of crossbeam's parked-thread wakeups; at the tick periods
+/// this workspace selects with (milliseconds and up) the difference is
+/// noise.
+#[macro_export]
+macro_rules! select {
+    ( $( recv($rx:expr) -> $msg:pat => $body:expr , )+ default($timeout:expr) => $default:expr $(,)? ) => {{
+        let deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            // Each arm either fires (breaking the loop) or falls
+            // through to the next; empty channels reach the timeout
+            // check below.
+            $(
+                match $crate::channel::Receiver::try_recv(&$rx) {
+                    ::std::result::Result::Ok(m) => {
+                        #[allow(unreachable_code)]
+                        {
+                            let $msg: ::std::result::Result<_, $crate::channel::RecvError> =
+                                ::std::result::Result::Ok(m);
+                            $body;
+                            break;
+                        }
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        #[allow(unreachable_code)]
+                        {
+                            let $msg = $crate::channel::disconnected_result(&$rx);
+                            $body;
+                            break;
+                        }
+                    }
+                    ::std::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+            )+
+            if ::std::time::Instant::now() >= deadline {
+                $default;
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+    }};
+}
+
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+    }
+
+    #[test]
+    fn recv_drains_before_reporting_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(10));
+        assert_eq!(err, Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).map_err(|_| ()));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let t = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_macro_receives_and_defaults() {
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx.send(9).unwrap();
+        let mut got = None;
+        select! {
+            recv(rx) -> msg => got = msg.ok(),
+            recv(rx2) -> _msg => unreachable!("rx2 is empty"),
+            default(Duration::from_millis(5)) => {}
+        }
+        assert_eq!(got, Some(9));
+        let defaulted = std::cell::Cell::new(false);
+        select! {
+            recv(rx) -> _msg => panic!("rx is empty now"),
+            recv(rx2) -> _msg => panic!("rx2 still empty"),
+            default(Duration::from_millis(5)) => defaulted.set(true),
+        }
+        assert!(defaulted.get());
+    }
+}

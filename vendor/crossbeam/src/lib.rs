@@ -1,0 +1,11 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! Provides `crossbeam::channel` — MPMC channels (bounded and
+//! unbounded) built on `Mutex` + `Condvar` — plus a `select!` macro
+//! covering the receive-or-timeout shape this workspace uses. The
+//! semantics match crossbeam where the workspace depends on them:
+//! cloneable senders *and* receivers, `recv` on a channel whose senders
+//! are all gone drains buffered messages before reporting
+//! disconnection, and bounded `send` blocks while the buffer is full.
+
+pub mod channel;

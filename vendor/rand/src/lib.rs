@@ -1,0 +1,386 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the workspace vendors the narrow slice of `rand` it
+//! actually uses. The implementation is deliberately bit-compatible
+//! with `rand` 0.8 where reproducibility matters:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ (the 64-bit `SmallRng` of
+//!   rand 0.8), including rand_core's PCG32-based `seed_from_u64`
+//!   expansion, so seeded streams match the real crate bit-for-bit.
+//! * `Rng::gen::<f64>()` uses the same 53-bit multiply mapping into
+//!   `[0, 1)`.
+//!
+//! * `Rng::gen_range` mirrors rand 0.8.5's `sample_single` /
+//!   `sample_single_inclusive`: widening-multiply with zone rejection
+//!   for integers, the `[1, 2)` mantissa trick for floats — so code
+//!   seeded against the real crate draws the same values here.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core trait: a source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8's Standard for f64: 53 random bits scaled to [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Standard for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+impl Standard for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // rand 0.8 samples bool from the sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// rand 0.8.5 `UniformInt::sample_single_inclusive`, verbatim in
+// structure: `$unsigned` is the same-width unsigned type, `$u_large`
+// the word the widening multiply runs in, `$next` the RngCore source
+// for one `$u_large`.
+macro_rules! impl_int_range {
+    ($(($t:ty, $unsigned:ty, $u_large:ty, $next:ident)),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_from(rng)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low)).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // Full type range: every word is acceptable.
+                    return rng.$next() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$next() as $u_large;
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+trait WideningMul: Sized {
+    fn widening(self, other: Self) -> (Self, Self);
+}
+impl WideningMul for u32 {
+    fn widening(self, other: u32) -> (u32, u32) {
+        let wide = self as u64 * other as u64;
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+impl WideningMul for u64 {
+    fn widening(self, other: u64) -> (u64, u64) {
+        let wide = self as u128 * other as u128;
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+impl WideningMul for usize {
+    fn widening(self, other: usize) -> (usize, usize) {
+        let wide = self as u128 * other as u128;
+        ((wide >> 64) as usize, wide as usize)
+    }
+}
+
+fn wmul<T: WideningMul>(a: T, b: T) -> (T, T) {
+    a.widening(b)
+}
+
+impl_int_range!(
+    (u8, u8, u32, next_u32),
+    (u16, u16, u32, next_u32),
+    (u32, u32, u32, next_u32),
+    (u64, u64, u64, next_u64),
+    (usize, usize, usize, next_u64),
+    (i8, u8, u32, next_u32),
+    (i16, u16, u32, next_u32),
+    (i32, u32, u32, next_u32),
+    (i64, u64, u64, next_u64),
+    (isize, usize, usize, next_u64),
+);
+
+// rand 0.8.5 `UniformFloat`: draw in [1, 2) via the mantissa trick,
+// then `value1_2 * scale + (low - scale)`. The exclusive form rejects
+// results that round up to `high`, shrinking `scale` by one ulp per
+// retry; the inclusive form takes the single draw as-is.
+macro_rules! impl_float_range {
+    ($(($t:ty, $bits:ty, $next:ident, $discard:expr, $exp_one:expr)),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                assert!(scale.is_finite(), "range overflow");
+                loop {
+                    let value1_2 =
+                        <$t>::from_bits($exp_one | (rng.$next() >> $discard));
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let scale = high - low;
+                assert!(scale.is_finite(), "range overflow");
+                let value1_2 = <$t>::from_bits($exp_one | (rng.$next() >> $discard));
+                value1_2 * scale + (low - scale)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(
+    (f32, u32, next_u32, 9u32, 0x3f80_0000u32),
+    (f64, u64, next_u64, 12u64, 0x3ff0_0000_0000_0000u64),
+);
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from `T`'s standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed using rand_core 0.6's PCG32
+    /// stream (bit-compatible with the real crate).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the 64-bit `SmallRng` of rand 0.8.
+    ///
+    /// Streams (including `seed_from_u64` expansion) are bit-identical
+    /// to `rand::rngs::SmallRng` 0.8 on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s.iter().all(|&w| w == 0) {
+                // xoshiro cannot run from the all-zero state.
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0xbf58476d1ce4e5b9,
+                    0x94d049bb133111eb,
+                    0x2545f4914f6cdd1d,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            // Upper bits: the low bits of ++ scramblers are weaker.
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::SmallRng as StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval_and_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&x));
+            let y = rng.gen_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&y));
+            let z = rng.gen_range(0usize..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
