@@ -1,0 +1,380 @@
+//! The shrink-only violation baseline (`analyze-baseline.toml`).
+//!
+//! Pre-existing violations are grandfathered per `(rule, file)` count in
+//! a checked-in TOML file. The ratchet is strict in both directions:
+//!
+//! * a file with **more** violations than its baseline entry fails the
+//!   check (new violations never land), and
+//! * a file with **fewer** violations than its baseline entry also fails,
+//!   with instructions to regenerate — so the baseline can only shrink
+//!   and burned-down debt can never silently creep back.
+//!
+//! The format is a deliberately tiny TOML subset (section headers +
+//! `"path" = count` pairs) so no external parser is needed:
+//!
+//! ```toml
+//! [no-panic-in-lib]
+//! "crates/core/src/server.rs" = 2
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::rules::{Rule, Violation, ALL_RULES};
+
+/// Grandfathered violation counts per rule and file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<Rule, BTreeMap<String, usize>>,
+}
+
+/// A problem found while parsing a baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    /// 1-based line number in the baseline file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+/// One divergence between the observed violations and the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// More violations than the baseline allows — new debt.
+    Exceeded {
+        /// The rule involved.
+        rule: Rule,
+        /// Workspace-relative file.
+        file: String,
+        /// Grandfathered count (0 when the file has no entry).
+        allowed: usize,
+        /// Observed count.
+        actual: usize,
+        /// The violations beyond explanation by the baseline.
+        violations: Vec<Violation>,
+    },
+    /// Fewer violations than the baseline records — the baseline is
+    /// stale and must shrink.
+    Stale {
+        /// The rule involved.
+        rule: Rule,
+        /// Workspace-relative file.
+        file: String,
+        /// Grandfathered count.
+        allowed: usize,
+        /// Observed count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Exceeded {
+                rule,
+                file,
+                allowed,
+                actual,
+                ..
+            } => write!(
+                f,
+                "[{rule}] {file}: {actual} violation(s), baseline allows {allowed}"
+            ),
+            Divergence::Stale {
+                rule,
+                file,
+                allowed,
+                actual,
+            } => write!(
+                f,
+                "[{rule}] {file}: baseline records {allowed} but only {actual} remain \
+                 — shrink the baseline (cargo run -p react-analyze -- --write-baseline)"
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// An empty baseline (everything must be clean).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Builds a baseline that grandfathers exactly `violations`.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut counts: BTreeMap<Rule, BTreeMap<String, usize>> = BTreeMap::new();
+        for v in violations {
+            *counts
+                .entry(v.rule)
+                .or_default()
+                .entry(v.file.clone())
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// The grandfathered count for `(rule, file)`.
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.counts
+            .get(&rule)
+            .and_then(|m| m.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total grandfathered violations across all rules.
+    pub fn total(&self) -> usize {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Parses the `analyze-baseline.toml` format.
+    pub fn parse(text: &str) -> Result<Self, BaselineParseError> {
+        let mut counts: BTreeMap<Rule, BTreeMap<String, usize>> = BTreeMap::new();
+        let mut current: Option<Rule> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let rule = Rule::from_name(section.trim()).ok_or_else(|| BaselineParseError {
+                    line: lineno,
+                    message: format!("unknown rule section [{section}]"),
+                })?;
+                current = Some(rule);
+                counts.entry(rule).or_default();
+                continue;
+            }
+            let rule = current.ok_or_else(|| BaselineParseError {
+                line: lineno,
+                message: "entry before any [rule] section".to_string(),
+            })?;
+            let (key, value) = line.split_once('=').ok_or_else(|| BaselineParseError {
+                line: lineno,
+                message: "expected `\"path\" = count`".to_string(),
+            })?;
+            let key = key.trim();
+            let path = key
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| BaselineParseError {
+                    line: lineno,
+                    message: "path must be double-quoted".to_string(),
+                })?;
+            let count: usize = value.trim().parse().map_err(|_| BaselineParseError {
+                line: lineno,
+                message: format!("invalid count {:?}", value.trim()),
+            })?;
+            if count == 0 {
+                return Err(BaselineParseError {
+                    line: lineno,
+                    message: "zero-count entries are not allowed; delete the line".to_string(),
+                });
+            }
+            let per_file = counts.entry(rule).or_default();
+            if per_file.insert(path.to_string(), count).is_some() {
+                return Err(BaselineParseError {
+                    line: lineno,
+                    message: format!("duplicate entry for {path:?}"),
+                });
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes back to the `analyze-baseline.toml` format
+    /// (deterministic ordering, round-trips through [`Baseline::parse`]).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Grandfathered react-analyze violations. Shrink-only: CI fails if a file\n\
+             # gains violations OR if an entry here overstates what remains. Regenerate\n\
+             # with `cargo run -p react-analyze -- --write-baseline` after burning debt.\n",
+        );
+        for rule in ALL_RULES {
+            let Some(per_file) = self.counts.get(&rule) else {
+                continue;
+            };
+            if per_file.is_empty() {
+                continue;
+            }
+            out.push('\n');
+            out.push_str(&format!("[{}]\n", rule.name()));
+            for (path, count) in per_file {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Compares observed violations against the baseline. Empty result
+    /// means the check passes.
+    pub fn diff(&self, violations: &[Violation]) -> Vec<Divergence> {
+        let actual = Baseline::from_violations(violations);
+        let mut out = Vec::new();
+        // Every (rule, file) appearing on either side.
+        let mut keys: Vec<(Rule, String)> = Vec::new();
+        for (rule, per_file) in actual.counts.iter().chain(self.counts.iter()) {
+            for file in per_file.keys() {
+                let key = (*rule, file.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        for (rule, file) in keys {
+            let allowed = self.allowed(rule, &file);
+            let n = actual.allowed(rule, &file);
+            if n > allowed {
+                let extra: Vec<Violation> = violations
+                    .iter()
+                    .filter(|v| v.rule == rule && v.file == file)
+                    .skip(allowed)
+                    .cloned()
+                    .collect();
+                out.push(Divergence::Exceeded {
+                    rule,
+                    file,
+                    allowed,
+                    actual: n,
+                    violations: extra,
+                });
+            } else if n < allowed {
+                out.push(Divergence::Stale {
+                    rule,
+                    file,
+                    allowed,
+                    actual: n,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            snippet: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let vs = [
+            v(Rule::NoPanicInLib, "crates/core/src/a.rs", 1),
+            v(Rule::NoPanicInLib, "crates/core/src/a.rs", 9),
+            v(Rule::NoFloatEq, "crates/matching/src/react.rs", 100),
+        ];
+        let b = Baseline::from_violations(&vs);
+        let parsed = Baseline::parse(&b.serialize()).expect("round trip");
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.total(), 3);
+        assert_eq!(
+            parsed.allowed(Rule::NoPanicInLib, "crates/core/src/a.rs"),
+            2
+        );
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        let vs = [
+            v(Rule::NoPanicInLib, "a.rs", 1),
+            v(Rule::NoPanicInLib, "a.rs", 2),
+        ];
+        let b = Baseline::from_violations(&vs);
+        assert!(b.diff(&vs).is_empty());
+    }
+
+    #[test]
+    fn new_violation_fails() {
+        let b = Baseline::from_violations(&[v(Rule::NoPanicInLib, "a.rs", 1)]);
+        let now = [
+            v(Rule::NoPanicInLib, "a.rs", 1),
+            v(Rule::NoPanicInLib, "a.rs", 5),
+        ];
+        let d = b.diff(&now);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0],
+            Divergence::Exceeded {
+                allowed: 1,
+                actual: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn new_file_fails_against_empty_baseline() {
+        let d = Baseline::empty().diff(&[v(Rule::NoWallClock, "b.rs", 3)]);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0],
+            Divergence::Exceeded {
+                allowed: 0,
+                actual: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_entry_fails_shrink_only() {
+        let b = Baseline::from_violations(&[
+            v(Rule::NoPanicInLib, "a.rs", 1),
+            v(Rule::NoPanicInLib, "a.rs", 2),
+        ]);
+        let d = b.diff(&[v(Rule::NoPanicInLib, "a.rs", 1)]);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0],
+            Divergence::Stale {
+                allowed: 2,
+                actual: 1,
+                ..
+            }
+        ));
+        // Fully cleaned file with a lingering entry is also stale.
+        let d = b.diff(&[]);
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            &d[0],
+            Divergence::Stale {
+                allowed: 2,
+                actual: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[not-a-rule]\n").is_err());
+        assert!(Baseline::parse("\"orphan.rs\" = 1\n").is_err());
+        assert!(Baseline::parse("[no-float-eq]\nunquoted = 1\n").is_err());
+        assert!(Baseline::parse("[no-float-eq]\n\"a.rs\" = zero\n").is_err());
+        assert!(Baseline::parse("[no-float-eq]\n\"a.rs\" = 0\n").is_err());
+        assert!(Baseline::parse("[no-float-eq]\n\"a.rs\" = 1\n\"a.rs\" = 2\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n[no-float-eq]\n# note\n\"a.rs\" = 2\n").expect("ok");
+        assert_eq!(b.allowed(Rule::NoFloatEq, "a.rs"), 2);
+    }
+}

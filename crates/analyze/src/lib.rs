@@ -1,0 +1,33 @@
+//! Workspace invariant checker for the REACT codebase.
+//!
+//! REACT's correctness claims rest on invariants the Rust compiler cannot
+//! see: runs must be bit-identically reproducible from a seed (so no
+//! ambient wall-clock or RNG in scheduling code), library crates must
+//! surface failures as typed errors rather than panics, and weighted
+//! edges must never be compared with exact float equality. This crate is
+//! a small, fully offline, token-level lint engine that enforces those
+//! project rules over the workspace's `.rs` files — no rustc plugin, no
+//! network, no third-party parser.
+//!
+//! The engine is rule-driven ([`rules`]), walks the workspace
+//! ([`workspace`]), and ratchets existing violations through a checked-in
+//! baseline file ([`baseline`]): new violations fail the check, the
+//! baseline can only shrink.
+//!
+//! Escape hatches, for code whose violation is *by design*:
+//!
+//! * `analyze: allow(<rule>)` in a comment — exempts the same line (or,
+//!   when the comment stands alone, the next line);
+//! * `analyze: allow-file(<rule>)` in a comment — exempts the whole file.
+//!
+//! Both markers should carry a trailing justification. The CLI
+//! (`cargo run -p react-analyze`) exits non-zero on any violation not
+//! covered by the baseline, which is how CI consumes it.
+
+pub mod baseline;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::Baseline;
+pub use rules::{Rule, Violation};
+pub use workspace::{CheckOutcome, Workspace};

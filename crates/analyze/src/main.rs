@@ -1,0 +1,150 @@
+//! `react-analyze` CLI — the workspace invariant gate.
+//!
+//! ```text
+//! cargo run -p react-analyze                  # check against analyze-baseline.toml
+//! cargo run -p react-analyze -- --write-baseline
+//! cargo run -p react-analyze -- --list        # print every violation, incl. grandfathered
+//! cargo run -p react-analyze -- --root <dir>  # explicit workspace root
+//! ```
+//!
+//! Exit codes: `0` clean (or fully explained by the baseline), `1` rule
+//! violations or a stale baseline, `2` usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use react_analyze::baseline::Divergence;
+use react_analyze::Workspace;
+
+struct Options {
+    root: Option<PathBuf>,
+    write_baseline: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        write_baseline: false,
+        list: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => opts.write_baseline = true,
+            "--list" => opts.list = true,
+            "--root" => {
+                let value = args.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: react-analyze [--root <dir>] [--write-baseline] [--list]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: `--root` if given, else two levels above this
+/// crate's manifest (set by cargo), else the current directory.
+fn resolve_root(opts: &Options) -> PathBuf {
+    if let Some(root) = &opts.root {
+        return root.clone();
+    }
+    if let Ok(manifest_dir) = env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(manifest_dir).join("../..");
+        if candidate.join("Cargo.toml").is_file() {
+            return candidate;
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = resolve_root(&opts);
+    let workspace = match Workspace::open(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("react-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match workspace.check() {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("react-analyze: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.write_baseline {
+        let baseline = react_analyze::Baseline::from_violations(&outcome.violations);
+        let path = workspace.baseline_path();
+        if let Err(e) = fs::write(&path, baseline.serialize()) {
+            eprintln!("react-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} grandfathered violation(s) across {} file(s) scanned)",
+            path.display(),
+            baseline.total(),
+            outcome.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.list {
+        for v in &outcome.violations {
+            println!("{v}");
+        }
+        println!(
+            "{} violation(s) in {} file(s) scanned",
+            outcome.violations.len(),
+            outcome.files_scanned
+        );
+    }
+
+    let baseline = match workspace.load_baseline() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("react-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let divergences = outcome.against(&baseline);
+    if divergences.is_empty() {
+        println!(
+            "react-analyze: OK — {} file(s) scanned, {} grandfathered violation(s), 0 new",
+            outcome.files_scanned,
+            baseline.total()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("react-analyze: FAIL");
+    for d in &divergences {
+        eprintln!("  {d}");
+        if let Divergence::Exceeded { violations, .. } = d {
+            for v in violations {
+                eprintln!("    {}:{}: {}", v.file, v.line, v.snippet);
+            }
+        }
+    }
+    eprintln!(
+        "{} divergence(s) from the baseline ({} file(s) scanned)",
+        divergences.len(),
+        outcome.files_scanned
+    );
+    ExitCode::FAILURE
+}

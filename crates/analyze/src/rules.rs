@@ -1,0 +1,803 @@
+//! The lint rules and the token-level file scanner.
+//!
+//! The scanner is deliberately simple: it strips comments and string
+//! literal *contents* from each line (so rule patterns never fire inside
+//! documentation or message text), tracks `#[cfg(test)]` regions with a
+//! brace counter (so rules can exempt test code), honours the
+//! `analyze: allow(...)` / `analyze: allow-file(...)` escape markers, and
+//! then matches plain token patterns. No macro expansion, no type
+//! information — rules are written so that token-level matching is
+//! sufficient (see each rule's docs for its exact heuristic).
+
+use std::fmt;
+
+/// The project rules enforced over workspace source files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// No ambient wall-clock reads (`Instant::now`, `SystemTime::now`)
+    /// outside the sanctioned clock module (`react-runtime::clock`) and
+    /// the observational stage timings in `react-core::server`. The
+    /// parallel runner's bit-identical-determinism guarantee depends on
+    /// scheduling decisions never observing real time.
+    NoWallClock,
+    /// No ambient randomness (`thread_rng`, `from_entropy`,
+    /// `rand::random`): RNGs must be seeded streams from
+    /// `react-sim::rng` or injected `RngCore` handles, or reproducibility
+    /// from a master seed is silently lost.
+    NoAmbientRng,
+    /// No `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!`
+    /// in non-test code of the library crates (`react-core`,
+    /// `react-matching`, `react-prob`): failures must surface as typed
+    /// errors. (`debug_assert!` stays legal — it vanishes in release.)
+    NoPanicInLib,
+    /// No `==` / `!=` against floating-point literals: edge weights and
+    /// fitness values are `f64`, and exact equality on computed floats is
+    /// a latent bug. Heuristic: flags comparisons where either operand is
+    /// a float literal (`x == 0.0`); variable-vs-variable comparisons are
+    /// invisible to a token scanner and left to review.
+    NoFloatEq,
+    /// Every `feature = "name"` in a `cfg` must name a feature declared
+    /// in the owning crate's `Cargo.toml`; an undeclared feature gate is
+    /// dead code that silently never compiles.
+    FeatureGateHygiene,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::NoWallClock,
+    Rule::NoAmbientRng,
+    Rule::NoPanicInLib,
+    Rule::NoFloatEq,
+    Rule::FeatureGateHygiene,
+];
+
+impl Rule {
+    /// The rule's stable name — used in baseline sections and allow
+    /// markers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoAmbientRng => "no-ambient-rng",
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NoFloatEq => "no-float-eq",
+            Rule::FeatureGateHygiene => "feature-gate-hygiene",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`Rule::name`]).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Whether the rule applies to `path` (workspace-relative, forward
+    /// slashes). Test-only trees (`tests/`, `benches/`) and demo code
+    /// (`examples/`) are exempt from everything except feature-gate
+    /// hygiene, which is checked by the workspace walker separately.
+    pub fn applies_to(&self, path: &str) -> bool {
+        if path.contains("/tests/")
+            || path.starts_with("tests/")
+            || path.contains("/benches/")
+            || path.starts_with("examples/")
+        {
+            return *self == Rule::FeatureGateHygiene;
+        }
+        match self {
+            Rule::NoWallClock => !matches!(
+                path,
+                "crates/runtime/src/clock.rs" | "crates/core/src/server.rs"
+            ),
+            Rule::NoAmbientRng => path != "crates/sim/src/rng.rs",
+            Rule::NoPanicInLib => {
+                path.starts_with("crates/core/src/")
+                    || path.starts_with("crates/matching/src/")
+                    || path.starts_with("crates/prob/src/")
+            }
+            Rule::NoFloatEq => true,
+            Rule::FeatureGateHygiene => true,
+        }
+    }
+
+    /// Whether violations inside `#[cfg(test)]` regions count.
+    pub fn applies_to_test_code(&self) -> bool {
+        matches!(self, Rule::FeatureGateHygiene)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// One source line after preprocessing.
+#[derive(Debug, Clone)]
+pub struct ScanLine {
+    /// The line with comments and string-literal contents blanked.
+    pub code: String,
+    /// The comment text of the line (for allow markers).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A preprocessed source file ready for rule matching.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// The raw source lines (for snippets).
+    pub raw_lines: Vec<String>,
+    /// Preprocessed lines, parallel to `raw_lines`.
+    pub lines: Vec<ScanLine>,
+    /// Rules disabled for the whole file via `analyze: allow-file(...)`.
+    pub file_allows: Vec<Rule>,
+    /// Per-line allows: `(line index, rule)` pairs.
+    pub line_allows: Vec<(usize, Rule)>,
+}
+
+impl ScannedFile {
+    /// Preprocesses `source` (the contents of `path`).
+    pub fn new(path: &str, source: &str) -> Self {
+        let (code_text, comment_text) = strip_non_code(source);
+        let raw_lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let code_lines: Vec<&str> = code_text.lines().collect();
+        let comment_lines: Vec<&str> = comment_text.lines().collect();
+        let test_flags = mark_test_regions(&code_lines);
+
+        let mut file_allows = Vec::new();
+        let mut line_allows = Vec::new();
+        for (i, comment) in comment_lines.iter().enumerate() {
+            for rule in parse_markers(comment, "analyze: allow-file(") {
+                file_allows.push(rule);
+            }
+            for rule in parse_markers(comment, "analyze: allow(") {
+                let has_code = code_lines
+                    .get(i)
+                    .map(|c| !c.trim().is_empty())
+                    .unwrap_or(false);
+                // A standalone comment marker covers the next line.
+                let target = if has_code { i } else { i + 1 };
+                line_allows.push((target, rule));
+            }
+        }
+
+        let n = raw_lines.len();
+        let lines = (0..n)
+            .map(|i| ScanLine {
+                code: code_lines.get(i).unwrap_or(&"").to_string(),
+                comment: comment_lines.get(i).unwrap_or(&"").to_string(),
+                in_test: test_flags.get(i).copied().unwrap_or(false),
+            })
+            .collect();
+        ScannedFile {
+            path: path.to_string(),
+            raw_lines,
+            lines,
+            file_allows,
+            line_allows,
+        }
+    }
+
+    fn allowed(&self, line_idx: usize, rule: Rule) -> bool {
+        self.file_allows.contains(&rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|&(l, r)| l == line_idx && r == rule)
+    }
+
+    /// Runs every applicable token rule over the file.
+    /// ([`Rule::FeatureGateHygiene`] needs the crate's feature list and
+    /// runs from [`crate::workspace`] via
+    /// [`ScannedFile::check_feature_gates`].)
+    pub fn check_token_rules(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for rule in [
+            Rule::NoWallClock,
+            Rule::NoAmbientRng,
+            Rule::NoPanicInLib,
+            Rule::NoFloatEq,
+        ] {
+            if !rule.applies_to(&self.path) {
+                continue;
+            }
+            for (i, line) in self.lines.iter().enumerate() {
+                if line.in_test && !rule.applies_to_test_code() {
+                    continue;
+                }
+                if !line_matches(rule, &line.code) || self.allowed(i, rule) {
+                    continue;
+                }
+                out.push(self.violation(rule, i));
+            }
+        }
+        out
+    }
+
+    /// Checks every `feature = "name"` gate against the declared feature
+    /// names of the owning crate.
+    pub fn check_feature_gates(&self, declared: &[String]) -> Vec<Violation> {
+        let rule = Rule::FeatureGateHygiene;
+        if !rule.applies_to(&self.path) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            // String contents are blanked by preprocessing, so the
+            // feature name must be recovered from the raw line; the
+            // blanked line still proves the gate is real code.
+            if !line.code.contains("feature") {
+                continue;
+            }
+            for name in feature_names_in(&self.raw_lines[i]) {
+                if !declared.iter().any(|d| d == &name) && !self.allowed(i, rule) {
+                    out.push(self.violation(rule, i));
+                }
+            }
+        }
+        out
+    }
+
+    fn violation(&self, rule: Rule, line_idx: usize) -> Violation {
+        Violation {
+            rule,
+            file: self.path.clone(),
+            line: line_idx + 1,
+            snippet: self.raw_lines[line_idx].trim().to_string(),
+        }
+    }
+}
+
+/// Does one preprocessed code line violate `rule`?
+fn line_matches(rule: Rule, code: &str) -> bool {
+    match rule {
+        Rule::NoWallClock => code.contains("Instant::now") || code.contains("SystemTime::now"),
+        Rule::NoAmbientRng => {
+            code.contains("thread_rng")
+                || code.contains("from_entropy")
+                || code.contains("rand::random")
+        }
+        Rule::NoPanicInLib => {
+            code.contains(".unwrap()")
+                || code.contains(".expect(")
+                || code.contains("panic!(")
+                || code.contains("todo!(")
+                || code.contains("unimplemented!(")
+        }
+        Rule::NoFloatEq => has_float_literal_eq(code),
+        Rule::FeatureGateHygiene => false, // handled by check_feature_gates
+    }
+}
+
+/// Detects `== <float literal>` / `!= <float literal>` (either operand
+/// side). A float literal here is `digits '.' [digits]`, optionally with
+/// an `f32`/`f64` suffix or exponent.
+fn has_float_literal_eq(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        if two == "==" || two == "!=" {
+            // Skip ===-like runs (not Rust, but be safe) and comparisons
+            // that are part of `<=`/`>=` (previous char `<`/`>`).
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            if prev != b'<' && prev != b'>' && prev != b'=' && bytes.get(i + 2) != Some(&b'=') {
+                let left = code[..i].trim_end();
+                let right = code[i + 2..].trim_start();
+                if ends_with_float_literal(left) || starts_with_float_literal(right) {
+                    return true;
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s).trim_start();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == 0 || i >= bytes.len() {
+        return false;
+    }
+    // digits '.' — reject method calls like `0.max(...)` by requiring the
+    // char after '.' to not start an identifier.
+    if bytes[i] != b'.' {
+        return false;
+    }
+    match bytes.get(i + 1) {
+        None => true,
+        Some(c) => c.is_ascii_digit() || !(c.is_ascii_alphabetic() || *c == b'_'),
+    }
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    let s = s.trim_end();
+    // Strip a type suffix (`0.5f64`).
+    let s = s.strip_suffix("f64").unwrap_or(s);
+    let s = s.strip_suffix("f32").unwrap_or(s);
+    let bytes = s.as_bytes();
+    let mut i = bytes.len();
+    while i > 0 && bytes[i - 1].is_ascii_digit() {
+        i -= 1;
+    }
+    let frac_digits = bytes.len() - i;
+    if i == 0 || bytes[i - 1] != b'.' {
+        return false;
+    }
+    // The '.' must follow digits (a literal like `1.0` / `3.`), not an
+    // identifier (`x.0` is a tuple field — only flag when there are
+    // fractional digits AND integer digits before the dot).
+    let mut j = i - 1;
+    while j > 0 && bytes[j - 1].is_ascii_digit() {
+        j -= 1;
+    }
+    let int_digits = (i - 1) - j;
+    if int_digits == 0 {
+        return false;
+    }
+    // Reject tuple-field access `pair.0` by requiring the char before the
+    // integer digits to not be '.' or an identifier char.
+    if j > 0 {
+        let c = bytes[j - 1];
+        if c == b'.' || c.is_ascii_alphanumeric() || c == b'_' {
+            return false;
+        }
+    }
+    frac_digits > 0 || int_digits > 0
+}
+
+/// Extracts `feature = "name"` names from a raw source line.
+fn feature_names_in(raw: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.find("feature") {
+        rest = &rest[pos + "feature".len()..];
+        let after = rest.trim_start();
+        if let Some(after_eq) = after.strip_prefix('=') {
+            let after_eq = after_eq.trim_start();
+            if let Some(stripped) = after_eq.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    out.push(stripped[..end].to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parses `analyze: allow(<rule>)`-style markers out of comment text.
+fn parse_markers(comment: &str, prefix: &str) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(prefix) {
+        rest = &rest[pos + prefix.len()..];
+        if let Some(end) = rest.find(')') {
+            if let Some(rule) = Rule::from_name(rest[..end].trim()) {
+                out.push(rule);
+            }
+        }
+    }
+    out
+}
+
+/// Splits source into a code-only copy and a comment-only copy (same
+/// line structure; non-code bytes blanked with spaces in the code copy
+/// and vice versa). String and char literal *contents* are blanked in
+/// the code copy so token patterns never fire inside text.
+fn strip_non_code(source: &str) -> (String, String) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len());
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    code.push(' ');
+                    comment.push(c);
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    comment.push(c);
+                }
+                '"' => {
+                    state = State::Str;
+                    code.push('"');
+                    comment.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        state = State::RawStr(hashes);
+                        for _ in i..=j {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        code.pop();
+                        code.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                    code.push(c);
+                    comment.push(' ');
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a char literal closes
+                    // within a few chars (`'a'`, `'\n'`, `'\u{1F600}'`);
+                    // a lifetime never closes with a quote.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&'\\') {
+                        j += 1;
+                        if bytes.get(j) == Some(&'u') {
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                        } else {
+                            j += 1;
+                        }
+                    } else if bytes.get(j).is_some() {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'\'') {
+                        state = State::Char;
+                        code.push('\'');
+                        comment.push(' ');
+                    } else {
+                        code.push(c); // lifetime tick
+                        comment.push(' ');
+                    }
+                }
+                '\n' => {
+                    code.push('\n');
+                    comment.push('\n');
+                }
+                _ => {
+                    code.push(c);
+                    comment.push(' ');
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    code.push('\n');
+                    comment.push('\n');
+                } else {
+                    code.push(' ');
+                    comment.push(c);
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    code.push('\n');
+                    comment.push('\n');
+                } else if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push('*');
+                    comment.push('/');
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push('/');
+                    comment.push('*');
+                    i += 2;
+                    continue;
+                } else {
+                    code.push(' ');
+                    comment.push(c);
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    // Preserve line structure when the escaped char is a
+                    // newline (string line-continuation `\` at EOL).
+                    let fill = if next == Some('\n') { '\n' } else { ' ' };
+                    code.push(' ');
+                    code.push(fill);
+                    comment.push(' ');
+                    comment.push(fill);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Code;
+                    code.push('"');
+                    comment.push(' ');
+                }
+                '\n' => {
+                    code.push('\n');
+                    comment.push('\n');
+                }
+                _ => {
+                    code.push(' ');
+                    comment.push(' ');
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        code.push('"');
+                        comment.push(' ');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                            comment.push(' ');
+                        }
+                        i += 1 + hashes;
+                        continue;
+                    }
+                    code.push(' ');
+                    comment.push(' ');
+                } else if c == '\n' {
+                    code.push('\n');
+                    comment.push('\n');
+                } else {
+                    code.push(' ');
+                    comment.push(' ');
+                }
+            }
+            State::Char => {
+                if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    comment.push(' ');
+                } else if c == '\\' {
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push(' ');
+                    comment.push(' ');
+                    i += 2;
+                    continue;
+                } else {
+                    code.push(' ');
+                    comment.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    (code, comment)
+}
+
+/// Marks which lines fall inside `#[cfg(test)]` regions, by tracking the
+/// brace depth of the item that follows the attribute.
+fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_depth: Option<i64> = None;
+    for (i, line) in code_lines.iter().enumerate() {
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        if region_depth.is_some() {
+            flags[i] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && region_depth.is_none() {
+                        region_depth = Some(depth);
+                        pending_attr = false;
+                        flags[i] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(rd) = region_depth {
+                        if depth <= rd {
+                            region_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Violation> {
+        ScannedFile::new(path, src).check_token_rules()
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_allowed_files() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let v = scan("crates/core/src/scheduling.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoWallClock);
+        assert_eq!(v[0].line, 1);
+        // The sanctioned clock module is exempt.
+        assert!(scan("crates/runtime/src/clock.rs", src).is_empty());
+        assert!(scan("crates/core/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_flagged() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }\n";
+        let v = scan("crates/crowd/src/runner.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoAmbientRng);
+    }
+
+    #[test]
+    fn panic_hygiene_scoped_to_lib_crates() {
+        let src = "fn f() { x.unwrap(); y.expect(\"boom\"); panic!(\"no\"); }\n";
+        let v = scan("crates/core/src/weight.rs", src);
+        assert_eq!(v.len(), 1, "one violation per line, not per token");
+        assert_eq!(v[0].rule, Rule::NoPanicInLib);
+        // Outside the three lib crates the rule is silent.
+        assert!(scan("crates/crowd/src/runner.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_heuristic() {
+        for bad in [
+            "if weight == 0.0 {",
+            "if 1.5 != x {",
+            "let b = f == 0.25f64;",
+            "while x != 10.0 {",
+        ] {
+            assert_eq!(
+                scan("crates/geo/src/grid.rs", &format!("{bad}\n")).len(),
+                1,
+                "{bad}"
+            );
+        }
+        for good in [
+            "if weight <= 0.0 {",
+            "if a == b {",
+            "if pair.0 == other.0 {",
+            "if n == 10 {",
+            "let s = \"x == 0.0\";",
+            "// weight == 0.0 would be wrong",
+        ] {
+            assert!(
+                scan("crates/geo/src/grid.rs", &format!("{good}\n")).is_empty(),
+                "{good}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_strings_and_chars_do_not_fire() {
+        let src = r#"
+// Instant::now() in a comment
+/* thread_rng in a block comment */
+fn f() {
+    let s = "Instant::now()";
+    let c = '"';
+    let after_char_literal = Instant::now(); // real violation
+}
+"#;
+        let v = scan("crates/geo/src/grid.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(scan("crates/core/src/weight.rs", src).is_empty());
+        // ...but code after the test module is scanned again.
+        let src2 = format!("{src}fn h() {{ y.unwrap(); }}\n");
+        let v = scan("crates/core/src/weight.rs", &src2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn allow_markers_suppress() {
+        let line_marker =
+            "fn f() { let t = Instant::now(); } // analyze: allow(no-wall-clock) legit\n";
+        assert!(scan("crates/geo/src/grid.rs", line_marker).is_empty());
+        let standalone = "// analyze: allow(no-wall-clock) next line is sanctioned\nfn f() { let t = Instant::now(); }\n";
+        assert!(scan("crates/geo/src/grid.rs", standalone).is_empty());
+        let file_marker = "// analyze: allow-file(no-wall-clock) benchmark harness\nfn f() { let t = Instant::now(); }\nfn g() { let t = Instant::now(); }\n";
+        assert!(scan("crates/geo/src/grid.rs", file_marker).is_empty());
+        // A marker for a different rule does not suppress.
+        let wrong = "fn f() { let t = Instant::now(); } // analyze: allow(no-float-eq)\n";
+        assert_eq!(scan("crates/geo/src/grid.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn feature_gate_check_uses_declared_list() {
+        let src =
+            "#[cfg(feature = \"parallel\")]\nfn f() {}\n#[cfg(feature = \"tubro\")]\nfn g() {}\n";
+        let file = ScannedFile::new("crates/core/src/par.rs", src);
+        let v = file.check_feature_gates(&["parallel".to_string()]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::FeatureGateHygiene);
+        assert_eq!(v[0].line, 3);
+        assert!(file
+            .check_feature_gates(&["parallel".to_string(), "tubro".to_string()])
+            .is_empty());
+    }
+
+    #[test]
+    fn tests_dir_exempt_from_token_rules() {
+        let src = "fn f() { let t = Instant::now(); x.unwrap(); }\n";
+        assert!(scan("tests/end_to_end.rs", src).is_empty());
+        assert!(scan("crates/bench/benches/fig3.rs", src).is_empty());
+        assert!(scan("examples/quickstart.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+}

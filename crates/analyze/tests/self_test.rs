@@ -1,0 +1,109 @@
+//! Self-test for the invariant gate, covering the two acceptance-side
+//! behaviours:
+//!
+//! 1. a rule-violating line added to `react-core` is detected (the CLI
+//!    exits non-zero exactly when the divergence list is non-empty), and
+//! 2. the committed tree passes against the checked-in baseline.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use react_analyze::rules::{Rule, ScannedFile};
+use react_analyze::{Baseline, Workspace};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Builds a throwaway workspace with one react-core source file.
+fn synthetic_workspace(name: &str, core_source: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("react-analyze-self-{name}"));
+    fs::remove_dir_all(&root).ok();
+    let core_src = root.join("crates/core/src");
+    fs::create_dir_all(&core_src).expect("mkdir");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("root manifest");
+    fs::write(
+        root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"react-core\"\nversion = \"0.1.0\"\n\n[features]\nparallel = []\n",
+    )
+    .expect("core manifest");
+    fs::write(core_src.join("offender.rs"), core_source).expect("source");
+    root
+}
+
+#[test]
+fn violating_line_in_react_core_fails_the_gate() {
+    let root = synthetic_workspace(
+        "violations",
+        "pub fn tick() {\n    let t = std::time::Instant::now();\n    let x = compute().unwrap();\n    if x == 0.5 {\n        let r = rand::thread_rng();\n    }\n}\n#[cfg(feature = \"turbo\")]\npub fn gated() {}\n",
+    );
+    let ws = Workspace::open(&root).expect("open synthetic workspace");
+    let outcome = ws.check().expect("scan");
+    let rules: Vec<Rule> = outcome.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&Rule::NoWallClock), "wall clock: {rules:?}");
+    assert!(rules.contains(&Rule::NoPanicInLib), "panic: {rules:?}");
+    assert!(rules.contains(&Rule::NoFloatEq), "float eq: {rules:?}");
+    assert!(rules.contains(&Rule::NoAmbientRng), "rng: {rules:?}");
+    assert!(rules.contains(&Rule::FeatureGateHygiene), "gate: {rules:?}");
+
+    // Against an empty baseline every violation is a divergence — this is
+    // exactly the condition under which the CLI exits non-zero.
+    let divergences = outcome.against(&Baseline::empty());
+    assert!(!divergences.is_empty());
+
+    // Grandfather everything and the gate passes again.
+    let grandfathered = Baseline::from_violations(&outcome.violations);
+    assert!(outcome.against(&grandfathered).is_empty());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn adding_a_violation_to_existing_react_core_file_is_detected() {
+    // Take a real react-core source file, count its violations, then
+    // append an offending line and assert the count strictly grows —
+    // i.e. debt cannot hide behind the baseline.
+    let path = repo_root().join("crates/core/src/scheduling.rs");
+    let original = fs::read_to_string(&path).expect("read scheduling.rs");
+    let rel = "crates/core/src/scheduling.rs";
+    let before = ScannedFile::new(rel, &original).check_token_rules().len();
+    let tampered = format!("{original}\npub fn sneak() {{ let t = std::time::Instant::now(); }}\n");
+    let after = ScannedFile::new(rel, &tampered).check_token_rules().len();
+    assert_eq!(
+        after,
+        before + 1,
+        "appended wall-clock call must be flagged"
+    );
+}
+
+#[test]
+fn committed_tree_passes_against_checked_in_baseline() {
+    let ws = Workspace::open(&repo_root()).expect("open repo");
+    let outcome = ws.check().expect("scan repo");
+    assert!(outcome.files_scanned > 50, "walker found the workspace");
+    let baseline = ws.load_baseline().expect("load checked-in baseline");
+    let divergences = outcome.against(&baseline);
+    assert!(
+        divergences.is_empty(),
+        "committed tree must pass the gate:\n{}",
+        divergences
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_file_is_checked_in_and_parses() {
+    let path = repo_root().join("analyze-baseline.toml");
+    let text = fs::read_to_string(&path).expect("analyze-baseline.toml is checked in");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    assert!(
+        baseline.total() > 0,
+        "remaining grandfathered debt is recorded"
+    );
+}

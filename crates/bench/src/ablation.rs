@@ -24,6 +24,10 @@
 //!     choosing the right worker *before* execution avoids the cost of
 //!     multiple assignments).
 
+// analyze: allow-file(no-wall-clock) — benchmark harness: wall-clock
+// timing IS the measurement here, and react-bench has no react-runtime
+// dependency to borrow a Stopwatch from.
+
 use crate::report::{num, OutputSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -15,6 +15,10 @@
 //! to ~1× with scheduling overhead; with ≥ 4 cores the 8-region point
 //! should exceed 1.5×. The `identical` column must hold everywhere.
 
+// analyze: allow-file(no-wall-clock) — benchmark harness: wall-clock
+// timing IS the measurement here, and react-bench has no react-runtime
+// dependency to borrow a Stopwatch from.
+
 use crate::report::{num, OutputSink};
 use react_core::{
     Config, GraphBuilder, MatcherPolicy, ProfilingComponent, TaskCategory, TaskId,

@@ -39,6 +39,9 @@ impl fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+/// Public-facing alias: the error type REACT's middleware API returns.
+pub type ReactError = CoreError;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,7 +63,7 @@ pub mod weight;
 
 pub use config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy};
 pub use dynamic::DynamicAssignmentComponent;
-pub use error::CoreError;
+pub use error::{CoreError, ReactError};
 pub use events::{verify_lifecycles, AuditLog, TaskEvent, TaskEventKind};
 pub use ids::{TaskCategory, TaskId, WorkerId};
 pub use persist::{export_profiles, import_profiles, PersistError};

@@ -103,21 +103,25 @@ impl<'a> GraphBuilder<'a> {
         let use_model = config.matcher.uses_probabilistic_model();
         let rows = workers
             .into_iter()
-            .map(|wid| {
-                let profile = profiling
-                    .profile_mut(wid)
-                    .expect("pool scan returns registered ids");
+            .filter_map(|wid| {
+                // The pool scan just read these ids out of the registry;
+                // a miss would mean the registry mutated mid-build. Drop
+                // the row rather than abort the batch.
+                let Ok(profile) = profiling.profile_mut(wid) else {
+                    debug_assert!(false, "pool scan returned unregistered {wid}");
+                    return None;
+                };
                 let in_training = profile.assignments_served() < config.training_assignments;
                 let model = if use_model && !in_training {
                     profile.deadline_dist(config.latency_model)
                 } else {
                     None
                 };
-                WorkerRow {
+                Some(WorkerRow {
                     id: wid,
                     in_training,
                     model,
-                }
+                })
             })
             .collect();
         GraphBuilder { config, rows }
@@ -160,9 +164,12 @@ impl<'a> GraphBuilder<'a> {
         let mut graph = BipartiteGraph::new(self.rows.len(), task_ids.len());
         let mut pruned = 0usize;
         for (u, row) in self.rows.iter().enumerate() {
-            let profile = profiling
-                .profile(row.id)
-                .expect("phase-A ids stay registered");
+            // Keep row `u` aligned with worker_ids() even if the profile
+            // vanished between phases: the row just contributes no edges.
+            let Ok(profile) = profiling.profile(row.id) else {
+                debug_assert!(false, "phase-A {} vanished from the registry", row.id);
+                continue;
+            };
             let (edges, row_pruned) =
                 Self::row_edges(self.config, &deadline_model, row, profile, &recs, now);
             Self::push_row(&mut graph, u, &edges);
@@ -186,14 +193,12 @@ impl<'a> GraphBuilder<'a> {
         let (task_ids, recs) = Self::task_rows(tasks);
         let deadline_model = DeadlineModel::new(self.config.deadline);
         // One immutable profile lookup per worker, like the serial pass.
-        let profiles: Vec<&WorkerProfile> = self
+        // A `None` (profile vanished between phases) leaves that row
+        // edgeless, matching the serial path's skip.
+        let profiles: Vec<Option<&WorkerProfile>> = self
             .rows
             .iter()
-            .map(|row| {
-                profiling
-                    .profile(row.id)
-                    .expect("phase-A ids stay registered")
-            })
+            .map(|row| profiling.profile(row.id).ok())
             .collect();
         let n = self.rows.len();
         let mut per_row: Vec<(Vec<(u32, f64)>, usize)> = vec![(Vec::new(), 0); n];
@@ -214,6 +219,10 @@ impl<'a> GraphBuilder<'a> {
                         .zip(profile_chunk.iter())
                         .zip(out_chunk.iter_mut())
                     {
+                        let Some(profile) = *profile else {
+                            debug_assert!(false, "phase-A {} vanished from the registry", row.id);
+                            continue;
+                        };
                         *out = Self::row_edges(config, deadline_model, row, profile, recs, now);
                     }
                 });
@@ -234,11 +243,17 @@ impl<'a> GraphBuilder<'a> {
     }
 
     fn task_rows(tasks: &TaskManagementComponent) -> (Vec<TaskId>, Vec<&TaskRecord>) {
-        let task_ids: Vec<TaskId> = tasks.unassigned().to_vec();
-        let recs = task_ids
-            .iter()
-            .map(|&tid| tasks.record(tid).expect("unassigned ids are tracked"))
-            .collect();
+        let unassigned = tasks.unassigned();
+        let mut task_ids = Vec::with_capacity(unassigned.len());
+        let mut recs = Vec::with_capacity(unassigned.len());
+        for &tid in unassigned {
+            let Ok(rec) = tasks.record(tid) else {
+                debug_assert!(false, "unassigned {tid} is not tracked");
+                continue;
+            };
+            task_ids.push(tid);
+            recs.push(rec);
+        }
         (task_ids, recs)
     }
 
@@ -282,9 +297,11 @@ impl<'a> GraphBuilder<'a> {
 
     fn push_row(graph: &mut BipartiteGraph, u: usize, edges: &[(u32, f64)]) {
         for &(v, weight) in edges {
-            graph
-                .add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v), weight)
-                .expect("indices in range, weights in [0,1]");
+            // row_edges only emits in-range indices and weights the
+            // graph accepts; a rejection would mean the builder itself
+            // is broken, so drop the edge instead of aborting the batch.
+            let pushed = graph.add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v), weight);
+            debug_assert!(pushed.is_ok(), "builder emitted an invalid edge");
         }
     }
 }

@@ -375,12 +375,20 @@ impl ReactServer {
         };
         let effective_at = now + seconds;
         for &(worker, task) in &batch.assignments {
-            self.tasks
+            // A batch only ever pairs ids it just read from the live
+            // registries, so failures here mean the matcher fabricated
+            // ids; drop the pair rather than poison the server.
+            if self
+                .tasks
                 .mark_assigned(task, worker, effective_at)
-                .expect("batch assigns tracked unassigned tasks");
-            self.profiling
-                .record_assignment(worker)
-                .expect("batch assigns registered workers");
+                .is_err()
+            {
+                debug_assert!(false, "batch assigned untracked {task}");
+                continue;
+            }
+            if self.profiling.record_assignment(worker).is_err() {
+                debug_assert!(false, "batch assigned unregistered {worker}");
+            }
             self.record_event(effective_at, task, TaskEventKind::Assigned { worker });
         }
         self.busy_until = effective_at;

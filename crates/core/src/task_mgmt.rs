@@ -191,7 +191,10 @@ impl TaskManagementComponent {
     pub fn expire_overdue_unassigned(&mut self, now: f64) -> Vec<TaskId> {
         let mut expired = Vec::new();
         self.unassigned.retain(|&id| {
-            let rec = self.tasks.get_mut(&id).expect("unassigned ids are tracked");
+            let Some(rec) = self.tasks.get_mut(&id) else {
+                debug_assert!(false, "unassigned {id} is not tracked");
+                return false;
+            };
             if rec.remaining_time(now) <= 0.0 {
                 rec.state = TaskState::Expired;
                 expired.push(id);

@@ -35,6 +35,8 @@ pub use analysis::{AuditAnalysis, TaskLatency};
 pub use behavior::{generate_population, BehaviorParams, ExecModel, LatencyModel, WorkerBehavior};
 pub use casestudy::{CaseStudySummary, CaseStudyTrace};
 pub use generator::TaskGenerator;
-pub use multiregion::{MultiRegionReport, MultiRegionRunner, MultiRegionScenario};
+pub use multiregion::{
+    MultiRegionReport, MultiRegionRunner, MultiRegionScenario, SchedulePermutationMismatch,
+};
 pub use runner::{RunReport, ScenarioRunner};
 pub use scenario::{ChurnParams, Scenario};

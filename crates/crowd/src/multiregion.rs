@@ -106,6 +106,29 @@ impl MultiRegionReport {
     }
 }
 
+/// A schedule permutation under which the merged multi-region result
+/// diverged from the serial baseline — evidence of a region-ordering
+/// race (hidden shared state between supposedly independent regions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePermutationMismatch {
+    /// The execution order (indices into the region-id-ordered scenario
+    /// list) that produced the divergent report.
+    pub order: Vec<usize>,
+}
+
+impl std::fmt::Display for SchedulePermutationMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "region execution order {:?} produced a report that is not \
+             bit-identical to the serial baseline",
+            self.order
+        )
+    }
+}
+
+impl std::error::Error for SchedulePermutationMismatch {}
+
 /// Executes a [`MultiRegionScenario`].
 pub struct MultiRegionRunner {
     scenario: MultiRegionScenario,
@@ -191,6 +214,50 @@ impl MultiRegionRunner {
         }
     }
 
+    /// The schedule-permutation race checker: replays the regions under
+    /// adversarial execution orderings (reversed, rotated, and seeded
+    /// shuffles — up to `max_orders` of them), merges each result back
+    /// into region-id order, and demands every merged report be
+    /// bit-identical to the serial baseline.
+    ///
+    /// The parallel path's determinism guarantee rests on regions being
+    /// truly independent; any hidden coupling (shared RNG, global state,
+    /// order-dependent workload preparation) shows up here as a
+    /// divergence long before it becomes a once-in-a-thousand-runs CI
+    /// flake in the threaded scheduler. Returns the number of orderings
+    /// checked.
+    pub fn check_schedule_permutations(
+        &self,
+        max_orders: usize,
+    ) -> Result<usize, SchedulePermutationMismatch> {
+        let baseline = self.run_serial();
+        let n = baseline.per_region.len();
+        if n <= 1 || max_orders == 0 {
+            return Ok(0);
+        }
+        let orders = adversarial_orders(n, max_orders, self.scenario.global.seed);
+        let checked = orders.len();
+        for order in orders {
+            let mut pool: Vec<Option<(RegionId, Scenario)>> =
+                self.region_scenarios().into_iter().map(Some).collect();
+            let mut merged: Vec<Option<(RegionId, RunReport)>> = (0..n).map(|_| None).collect();
+            for &idx in &order {
+                let (region_id, sc) = pool[idx].take().expect("each index visited once");
+                merged[idx] = Some((region_id, ScenarioRunner::new(sc).run()));
+            }
+            let report = MultiRegionReport {
+                per_region: merged
+                    .into_iter()
+                    .map(|slot| slot.expect("order is a permutation"))
+                    .collect(),
+            };
+            if !baseline.identical(&report) {
+                return Err(SchedulePermutationMismatch { order });
+            }
+        }
+        Ok(checked)
+    }
+
     /// Deterministic preparation shared by both execution paths: the
     /// global Poisson stream, its partition by region, the worker
     /// split, and one seeded scenario per region (in region-id order).
@@ -231,6 +298,37 @@ impl MultiRegionRunner {
             })
             .collect()
     }
+}
+
+/// Adversarial region execution orders: reversed, rotated by one, and
+/// deterministic seeded shuffles, `max_orders` in total. The identity
+/// order is never emitted (it *is* the baseline).
+fn adversarial_orders(n: usize, max_orders: usize, seed: u64) -> Vec<Vec<usize>> {
+    use rand::Rng;
+    let mut orders: Vec<Vec<usize>> = Vec::new();
+    let push = |candidate: Vec<usize>, orders: &mut Vec<Vec<usize>>| {
+        let identity = candidate.iter().enumerate().all(|(i, &v)| i == v);
+        if !identity && !orders.contains(&candidate) {
+            orders.push(candidate);
+        }
+    };
+    push((0..n).rev().collect(), &mut orders);
+    push((0..n).map(|i| (i + 1) % n).collect(), &mut orders);
+    let streams = RngStreams::new(seed ^ 0x5ced);
+    let mut shuffle_rng = streams.stream("schedule-permutations");
+    let mut guard = 0;
+    while orders.len() < max_orders && guard < max_orders * 8 {
+        guard += 1;
+        let mut candidate: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with the sanctioned seeded stream.
+        for i in (1..n).rev() {
+            let j = shuffle_rng.gen_range(0..=i);
+            candidate.swap(i, j);
+        }
+        push(candidate, &mut orders);
+    }
+    orders.truncate(max_orders);
+    orders
 }
 
 #[cfg(test)]
@@ -328,6 +426,51 @@ mod tests {
         })
         .run_serial();
         assert!(!serial.identical(&other), "different seeds should differ");
+    }
+
+    #[test]
+    fn schedule_permutations_are_race_free() {
+        let runner = MultiRegionRunner::new(MultiRegionScenario {
+            global: global(7),
+            rows: 2,
+            cols: 2,
+        });
+        let checked = runner
+            .check_schedule_permutations(4)
+            .expect("region merges must be order-independent");
+        assert!(checked >= 3, "expected several orderings, got {checked}");
+    }
+
+    #[test]
+    fn permutation_checker_handles_degenerate_grids() {
+        let runner = MultiRegionRunner::new(MultiRegionScenario {
+            global: global(8),
+            rows: 1,
+            cols: 1,
+        });
+        // One region has no non-identity orders to check.
+        assert_eq!(runner.check_schedule_permutations(4), Ok(0));
+    }
+
+    #[test]
+    fn adversarial_orders_are_permutations_without_identity() {
+        for n in [2usize, 3, 5, 8] {
+            let orders = adversarial_orders(n, 6, 42);
+            assert!(!orders.is_empty());
+            for order in &orders {
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "not a permutation");
+                assert!(
+                    order.iter().enumerate().any(|(i, &v)| i != v),
+                    "identity must be excluded"
+                );
+            }
+            // No duplicate orderings.
+            for (i, a) in orders.iter().enumerate() {
+                assert!(!orders[i + 1..].contains(a), "duplicate ordering");
+            }
+        }
     }
 
     #[test]

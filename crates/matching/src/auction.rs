@@ -101,7 +101,9 @@ impl Matcher for AuctionMatcher {
                 pairs.push((worker, task, graph.edge(e).weight));
             }
         }
-        Matching::from_pairs(pairs, bids as f64)
+        let m = Matching::from_pairs(pairs, bids as f64);
+        crate::invariants::debug_check_matching("auction", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

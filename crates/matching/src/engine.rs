@@ -186,7 +186,11 @@ impl MatcherEngine {
 
     /// Runs one assignment pass over `graph` under `ctx`.
     pub fn assign(&mut self, graph: &BipartiteGraph, ctx: &mut MatchContext<'_>) -> Matching {
-        self.matcher(ctx.edge_budget).assign(graph, ctx.rng)
+        let m = self.matcher(ctx.edge_budget).assign(graph, ctx.rng);
+        // Engine-level safety net: also covers matchers registered by
+        // embedders, which the per-algorithm hooks cannot see.
+        crate::invariants::debug_check_matching(self.name(), graph, &m);
+        m
     }
 }
 

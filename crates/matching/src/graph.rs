@@ -60,6 +60,19 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Weights smaller than this are treated as zero by the flip rules: a
+/// fitness change below `WEIGHT_EPSILON` is noise, not a real
+/// deterioration to anneal over.
+pub const WEIGHT_EPSILON: f64 = 1e-12;
+
+/// True when `weight` is indistinguishable from zero for the purposes of
+/// the accept/reject rules. Graph construction already rejects negative
+/// and non-finite weights, so this is a one-sided check.
+#[inline]
+pub fn is_negligible_weight(weight: f64) -> bool {
+    weight < WEIGHT_EPSILON
+}
+
 /// One feasible (worker, task) assignment with its weight
 /// `w_ij = F(worker_i, task_j)`.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -13,6 +13,7 @@
 //! this Rust implementation only walks each task's own adjacency list.
 
 use crate::graph::{BipartiteGraph, TaskIdx};
+use crate::invariants::debug_check_matching;
 use crate::matcher::{Matcher, Matching};
 use rand::RngCore;
 
@@ -46,7 +47,9 @@ impl Matcher for GreedyMatcher {
             }
         }
         let cost = graph.n_tasks() as f64 * graph.n_edges() as f64;
-        Matching::from_pairs(pairs, cost)
+        let m = Matching::from_pairs(pairs, cost);
+        debug_check_matching("greedy", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

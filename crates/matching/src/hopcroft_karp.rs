@@ -124,7 +124,9 @@ impl Matcher for HopcroftKarpMatcher {
         }
         // O(E·√V): the count the complexity analysis charges.
         let cost = graph.n_edges() as f64 * (graph.n_workers().max(graph.n_tasks()) as f64).sqrt();
-        Matching::from_pairs(pairs, cost)
+        let m = Matching::from_pairs(pairs, cost);
+        crate::invariants::debug_check_matching("hopcroft-karp", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

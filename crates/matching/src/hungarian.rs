@@ -14,6 +14,7 @@
 //! non-negative by construction).
 
 use crate::graph::{BipartiteGraph, TaskIdx, WorkerIdx};
+use crate::invariants::debug_check_matching;
 use crate::matcher::{Matcher, Matching};
 use rand::RngCore;
 
@@ -129,7 +130,9 @@ impl Matcher for HungarianMatcher {
             }
         }
         let n = rows.max(cols) as f64;
-        Matching::from_pairs(pairs, n * n * n)
+        let m = Matching::from_pairs(pairs, n * n * n);
+        debug_check_matching("hungarian", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

@@ -37,6 +37,7 @@ pub mod graph;
 pub mod greedy;
 pub mod hopcroft_karp;
 pub mod hungarian;
+pub mod invariants;
 pub mod matcher;
 pub mod metropolis;
 pub mod random;
@@ -50,6 +51,7 @@ pub use graph::{BipartiteGraph, EdgeId, GraphError, TaskIdx, WorkerIdx};
 pub use greedy::GreedyMatcher;
 pub use hopcroft_karp::HopcroftKarpMatcher;
 pub use hungarian::HungarianMatcher;
+pub use invariants::{InvariantViolation, MatchingValidator};
 pub use matcher::{Matcher, Matching};
 pub use metropolis::MetropolisMatcher;
 pub use random::RandomMatcher;

@@ -16,7 +16,8 @@
 //! which is exactly why Fig. 4 shows REACT producing higher weight at the
 //! same (or a third of the) cycle budget.
 
-use crate::graph::{BipartiteGraph, EdgeId};
+use crate::graph::{is_negligible_weight, BipartiteGraph, EdgeId};
+use crate::invariants::{debug_check_matching, debug_check_state};
 use crate::matcher::{Matcher, Matching};
 use crate::state::MatchingState;
 use rand::{Rng, RngCore};
@@ -59,8 +60,11 @@ impl MetropolisMatcher {
             let e = EdgeId(rng.gen_range(0..n_edges as u32));
             let weight = graph.edge(e).weight;
             if state.is_selected(e) {
-                // Δg = −w.
-                if weight == 0.0 || self.accept_worse(-weight, rng) {
+                // Δg = −w. Same negligible-weight short-circuit as REACT
+                // (see `ReactMatcher::flip`): a free move is accepted
+                // before any RNG draw, keeping runs bit-identical to the
+                // old exact-zero comparison on real scheduler weights.
+                if is_negligible_weight(weight) || self.accept_worse(-weight, rng) {
                     state.deselect(graph, e);
                 }
                 continue;
@@ -81,6 +85,7 @@ impl MetropolisMatcher {
                     }
                 }
             }
+            debug_check_state("metropolis", graph, &state);
         }
         state
     }
@@ -105,7 +110,9 @@ impl Matcher for MetropolisMatcher {
         // Same cost law as REACT: the paper measured near-identical
         // running times for the two at equal cycles.
         let cost = self.cycles as f64 * graph.n_edges() as f64;
-        Matching::from_pairs(pairs, cost)
+        let m = Matching::from_pairs(pairs, cost);
+        debug_check_matching("metropolis", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

@@ -11,6 +11,7 @@
 //! suffers the scheduler queueing collapse — it simply assigns blindly.
 
 use crate::graph::{BipartiteGraph, TaskIdx};
+use crate::invariants::debug_check_matching;
 use crate::matcher::{Matcher, Matching};
 use rand::{Rng, RngCore};
 
@@ -42,7 +43,9 @@ impl Matcher for RandomMatcher {
             pairs.push((edge.worker, edge.task, edge.weight));
         }
         let cost = graph.n_tasks() as f64;
-        Matching::from_pairs(pairs, cost)
+        let m = Matching::from_pairs(pairs, cost);
+        debug_check_matching("traditional", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

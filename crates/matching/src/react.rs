@@ -25,7 +25,8 @@
 //! graph, ~45 s for `c = 3000`); [`Matching::cost_units`] is therefore
 //! `c·E`, which the calibrated cost model converts to simulated seconds.
 
-use crate::graph::{BipartiteGraph, EdgeId};
+use crate::graph::{is_negligible_weight, BipartiteGraph, EdgeId};
+use crate::invariants::{debug_check_matching, debug_check_state};
 use crate::matcher::{Matcher, Matching};
 use crate::state::MatchingState;
 use rand::{Rng, RngCore};
@@ -81,6 +82,7 @@ impl ReactMatcher {
         for _ in 0..self.cycles {
             let e = EdgeId(rng.gen_range(0..n_edges as u32));
             self.flip(graph, &mut state, e, rng);
+            debug_check_state("react", graph, &state);
         }
         state
     }
@@ -95,9 +97,13 @@ impl ReactMatcher {
     ) {
         let weight = graph.edge(e).weight;
         if state.is_selected(e) {
-            // Flipping off: Δg = −w ≤ 0. Accept when Δg = 0, otherwise
-            // with the annealing probability.
-            if weight == 0.0 || self.accept_worse(-weight, rng) {
+            // Flipping off: Δg = −w ≤ 0. A negligible weight is a free
+            // move (Δg ≈ 0, acceptance probability e^{Δg/K} ≈ 1) and is
+            // accepted outright — crucially *before* any RNG draw, so
+            // runs stay bit-identical to the historical exact-zero rule
+            // on all weights the scheduler produces. Real deteriorations
+            // anneal.
+            if is_negligible_weight(weight) || self.accept_worse(-weight, rng) {
                 state.deselect(graph, e);
             }
             return;
@@ -147,7 +153,9 @@ impl Matcher for ReactMatcher {
             .collect();
         // Worst-case complexity O(c·E) — see the module docs.
         let cost = self.cycles as f64 * graph.n_edges() as f64;
-        Matching::from_pairs(pairs, cost)
+        let m = Matching::from_pairs(pairs, cost);
+        debug_check_matching("react", graph, &m);
+        m
     }
 
     fn name(&self) -> &'static str {

@@ -94,9 +94,9 @@ fn main() -> ExitCode {
         lc.time_scale,
         lc.config.matcher.name()
     );
-    let t0 = std::time::Instant::now();
+    let t0 = react_runtime::Stopwatch::start();
     let report = LiveRuntime::new(lc).run();
-    let wall = t0.elapsed().as_secs_f64();
+    let wall = t0.elapsed_secs();
     println!("\nfinished in {wall:.1} wall-seconds");
     println!("  submitted          {}", report.submitted);
     println!("  completed          {}", report.completed);

@@ -43,6 +43,39 @@ impl ScaledClock {
     pub fn to_wall(&self, crowd_secs: f64) -> Duration {
         Duration::from_secs_f64((crowd_secs / self.scale).max(0.0))
     }
+
+    /// The wall-clock [`Instant`] lying `crowd_secs` crowd seconds in
+    /// the future — the deadline to hand to `recv_deadline`-style waits.
+    ///
+    /// This is the sanctioned way for runtime code to obtain an
+    /// `Instant`; reading `Instant::now()` directly elsewhere trips the
+    /// `no-wall-clock` lint (see `react-analyze`).
+    pub fn deadline_after(&self, crowd_secs: f64) -> Instant {
+        Instant::now() + self.to_wall(crowd_secs)
+    }
+}
+
+/// A wall-clock stopwatch for progress and latency *reporting* (never
+/// for simulation semantics — those run on virtual time or a
+/// [`ScaledClock`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
 }
 
 #[cfg(test)]

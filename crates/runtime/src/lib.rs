@@ -30,6 +30,6 @@ pub mod messages;
 pub mod runtime;
 pub mod worker_host;
 
-pub use clock::ScaledClock;
+pub use clock::{ScaledClock, Stopwatch};
 pub use messages::{Completion, WorkerCommand};
 pub use runtime::{LiveConfig, LiveReport, LiveRuntime};

@@ -16,7 +16,6 @@ use crate::messages::{Completion, WorkerCommand};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use react_core::{TaskId, WorkerId};
 use std::collections::VecDeque;
-use std::time::Instant;
 
 /// Runs a worker host until [`WorkerCommand::Shutdown`] or the mailbox
 /// closes. `quality` is the worker's intrinsic positive-feedback
@@ -48,7 +47,7 @@ pub fn run_worker_host(
 
         // Interruptible "human work": wait out the service time while
         // still reacting to commands.
-        let deadline = Instant::now() + clock.to_wall(exec_crowd_secs);
+        let deadline = clock.deadline_after(exec_crowd_secs);
         let finished = loop {
             match mailbox.recv_deadline(deadline) {
                 Err(RecvTimeoutError::Timeout) => break true,

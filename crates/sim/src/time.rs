@@ -117,6 +117,9 @@ impl SimDuration {
 
     /// True for the zero duration.
     pub fn is_zero(&self) -> bool {
+        // Exact comparison on purpose: only the literal zero duration
+        // (the event-loop's "now" sentinel) should answer true.
+        // analyze: allow(no-float-eq)
         self.0 == 0.0
     }
 }
