@@ -15,10 +15,12 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// No ambient wall-clock reads (`Instant::now`, `SystemTime::now`)
-    /// outside the sanctioned clock module (`react-runtime::clock`) and
-    /// the observational stage timings in `react-core::server`. The
-    /// parallel runner's bit-identical-determinism guarantee depends on
-    /// scheduling decisions never observing real time.
+    /// or raw timing arithmetic (`.elapsed(`) outside the sanctioned
+    /// clock module (`react-runtime::clock`) and the observability leaf
+    /// crate (`react-obs`, whose `SpanTimer` is the one sanctioned way
+    /// to measure a span). The parallel runner's
+    /// bit-identical-determinism guarantee depends on scheduling
+    /// decisions never observing real time.
     NoWallClock,
     /// No ambient randomness (`thread_rng`, `from_entropy`,
     /// `rand::random`): RNGs must be seeded streams from
@@ -82,10 +84,9 @@ impl Rule {
             return *self == Rule::FeatureGateHygiene;
         }
         match self {
-            Rule::NoWallClock => !matches!(
-                path,
-                "crates/runtime/src/clock.rs" | "crates/core/src/server.rs"
-            ),
+            Rule::NoWallClock => {
+                path != "crates/runtime/src/clock.rs" && !path.starts_with("crates/obs/src/")
+            }
             Rule::NoAmbientRng => path != "crates/sim/src/rng.rs",
             Rule::NoPanicInLib => {
                 path.starts_with("crates/core/src/")
@@ -274,7 +275,11 @@ impl ScannedFile {
 /// Does one preprocessed code line violate `rule`?
 fn line_matches(rule: Rule, code: &str) -> bool {
     match rule {
-        Rule::NoWallClock => code.contains("Instant::now") || code.contains("SystemTime::now"),
+        Rule::NoWallClock => {
+            code.contains("Instant::now")
+                || code.contains("SystemTime::now")
+                || code.contains(".elapsed(")
+        }
         Rule::NoAmbientRng => {
             code.contains("thread_rng")
                 || code.contains("from_entropy")
@@ -678,9 +683,27 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::NoWallClock);
         assert_eq!(v[0].line, 1);
-        // The sanctioned clock module is exempt.
+        // The sanctioned clock module and the observability leaf crate
+        // (home of `SpanTimer`) are exempt; the server is NOT — its
+        // stage timings must go through `react_obs::SpanTimer`.
         assert!(scan("crates/runtime/src/clock.rs", src).is_empty());
-        assert!(scan("crates/core/src/server.rs", src).is_empty());
+        assert!(scan("crates/obs/src/timer.rs", src).is_empty());
+        assert_eq!(scan("crates/core/src/server.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn raw_timing_arithmetic_flagged() {
+        let src = "fn f(t: std::time::Instant) -> f64 { t.elapsed().as_secs_f64() }\n";
+        let v = scan("crates/core/src/server.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoWallClock);
+        assert!(scan("crates/obs/src/timer.rs", src).is_empty());
+        // Identifiers merely containing the word are not flagged.
+        assert!(scan(
+            "crates/core/src/server.rs",
+            "let elapsed = timings.total();\n"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `react-experiments` — regenerate every figure of the REACT paper.
 //!
 //! ```text
-//! USAGE: react-experiments [COMMAND] [--quick] [--seed N] [--out DIR] [--no-csv]
+//! USAGE: react-experiments [COMMAND] [--quick] [--seed N] [--out DIR] [--no-csv] [--observe]
 //!
 //! COMMANDS
 //!   fig3, fig4      matching time / matching weight micro-benchmarks
@@ -17,6 +17,8 @@
 //!   --seed N        master RNG seed (default 42)
 //!   --out DIR       CSV output directory (default results/)
 //!   --no-csv        don't write CSVs
+//!   --observe       (regions) also measure NullObserver vs
+//!                   RecordingObserver overhead and print the telemetry
 //! ```
 //!
 //! Run with `--release`; the full suite at paper scale takes a few
@@ -30,18 +32,21 @@ struct Cli {
     command: String,
     quick: bool,
     seed: u64,
+    observe: bool,
     sink: OutputSink,
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut command: Option<String> = None;
     let mut quick = false;
+    let mut observe = false;
     let mut seed = 42u64;
     let mut out: Option<String> = Some("results".to_string());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--observe" => observe = true,
             "--no-csv" => out = None,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -62,13 +67,14 @@ fn parse_args() -> Result<Cli, String> {
         command: command.unwrap_or_else(|| "all".to_string()),
         quick,
         seed,
+        observe,
         sink: out.map_or_else(OutputSink::discard, OutputSink::to_dir),
     })
 }
 
 const USAGE: &str = "usage: react-experiments \
 [fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|case|ablation|all] \
-[--quick] [--seed N] [--out DIR] [--no-csv]";
+[--quick] [--seed N] [--out DIR] [--no-csv] [--observe]";
 
 fn run_fig34(cli: &Cli) {
     let mut params = if cli.quick {
@@ -115,6 +121,10 @@ fn run_regions(cli: &Cli) {
     };
     let builds = regions::build_scaling(pools, if cli.quick { 30 } else { 100 });
     println!("{}", regions::report(&points, &builds, &cli.sink));
+    if cli.observe {
+        let observed = regions::observe(&params);
+        println!("{}", regions::observe_report(&observed, &cli.sink));
+    }
 }
 
 fn run_case(cli: &Cli) {

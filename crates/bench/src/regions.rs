@@ -93,6 +93,17 @@ impl RegionSweepPoint {
     }
 }
 
+/// The multi-region scenario one sweep point runs.
+fn sweep_scenario(params: &RegionSweepParams, rows: u32, cols: u32) -> MultiRegionScenario {
+    let regions = (rows * cols) as usize;
+    let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, params.seed);
+    global.label = format!("regions-{regions}");
+    global.n_workers = params.workers_per_region * regions;
+    global.arrival_rate = 2.0 * regions as f64;
+    global.total_tasks = params.tasks_per_region * regions;
+    MultiRegionScenario { global, rows, cols }
+}
+
 /// Runs the region-execution sweep.
 pub fn run(params: &RegionSweepParams) -> Vec<RegionSweepPoint> {
     params
@@ -100,12 +111,7 @@ pub fn run(params: &RegionSweepParams) -> Vec<RegionSweepPoint> {
         .iter()
         .map(|&(rows, cols)| {
             let regions = (rows * cols) as usize;
-            let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, params.seed);
-            global.label = format!("regions-{regions}");
-            global.n_workers = params.workers_per_region * regions;
-            global.arrival_rate = 2.0 * regions as f64;
-            global.total_tasks = params.tasks_per_region * regions;
-            let runner = MultiRegionRunner::new(MultiRegionScenario { global, rows, cols });
+            let runner = MultiRegionRunner::new(sweep_scenario(params, rows, cols));
             let t = Instant::now();
             let serial = runner.run_serial();
             let serial_secs = t.elapsed().as_secs_f64();
@@ -121,6 +127,106 @@ pub fn run(params: &RegionSweepParams) -> Vec<RegionSweepPoint> {
             }
         })
         .collect()
+}
+
+/// One observability-overhead measurement: the same multi-region
+/// workload executed serially twice — once with the default
+/// [`react_obs::NullObserver`] and once with a
+/// [`react_obs::RecordingObserver`] attached.
+#[derive(Debug, Clone)]
+pub struct ObservePoint {
+    /// Number of regions (`rows × cols`).
+    pub regions: usize,
+    /// Wall-clock seconds of the NullObserver run.
+    pub null_secs: f64,
+    /// Wall-clock seconds of the RecordingObserver run.
+    pub recording_secs: f64,
+    /// Whether the two reports were bit-identical (must always hold:
+    /// observers are write-only).
+    pub identical: bool,
+    /// The recording sink's span/counter/histogram summary.
+    pub summary: String,
+}
+
+impl ObservePoint {
+    /// Observation overhead as a percentage of the NullObserver time.
+    /// Noisy for sub-millisecond runs; meaningful at full sweep sizes.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.null_secs > 0.0 {
+            (self.recording_secs / self.null_secs - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures the observability overhead across the sweep's grids.
+pub fn observe(params: &RegionSweepParams) -> Vec<ObservePoint> {
+    use react_obs::RecordingObserver;
+    params
+        .grids
+        .iter()
+        .map(|&(rows, cols)| {
+            let regions = (rows * cols) as usize;
+            let null_runner = MultiRegionRunner::new(sweep_scenario(params, rows, cols));
+            let t = Instant::now();
+            let baseline = null_runner.run_serial();
+            let null_secs = t.elapsed().as_secs_f64();
+            let recording = RecordingObserver::new();
+            let observed_runner = MultiRegionRunner::new(sweep_scenario(params, rows, cols))
+                .with_observer(std::sync::Arc::new(recording.clone()));
+            let t = Instant::now();
+            let observed = observed_runner.run_serial();
+            let recording_secs = t.elapsed().as_secs_f64();
+            ObservePoint {
+                regions,
+                null_secs,
+                recording_secs,
+                identical: baseline.identical(&observed),
+                summary: recording.summary(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the observability-overhead table (plus the largest run's
+/// span/counter catalog) and archives the CSV.
+pub fn observe_report(points: &[ObservePoint], sink: &OutputSink) -> String {
+    let mut table = Table::new(&["regions", "null s", "recording s", "overhead", "identical"])
+        .with_title("Observability — NullObserver vs RecordingObserver (serial)".to_string());
+    let mut rows = vec![vec![
+        "regions".to_string(),
+        "null_secs".to_string(),
+        "recording_secs".to_string(),
+        "overhead_pct".to_string(),
+        "identical".to_string(),
+    ]];
+    for p in points {
+        table.add_row(vec![
+            p.regions.to_string(),
+            format!("{:.4}", p.null_secs),
+            format!("{:.4}", p.recording_secs),
+            format!("{:+.2}%", p.overhead_pct()),
+            p.identical.to_string(),
+        ]);
+        rows.push(vec![
+            p.regions.to_string(),
+            num(p.null_secs),
+            num(p.recording_secs),
+            num(p.overhead_pct()),
+            p.identical.to_string(),
+        ]);
+    }
+    sink.write("observability_overhead", &rows);
+    match points.last() {
+        Some(last) => format!(
+            "{}\nTelemetry of the {}-region run:\n{}",
+            table.render(),
+            last.regions,
+            last.summary
+        ),
+        None => table.render(),
+    }
 }
 
 /// One graph-build measurement.
@@ -315,6 +421,27 @@ mod tests {
             points.iter().map(|p| p.regions).collect::<Vec<_>>(),
             vec![1, 4, 8]
         );
+    }
+
+    #[test]
+    fn observe_sweep_is_write_only_and_reports_telemetry() {
+        let mut params = RegionSweepParams::quick();
+        params.grids.truncate(2);
+        let points = observe(&params);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(
+                p.identical,
+                "{} regions diverged under observation",
+                p.regions
+            );
+            assert!(p.overhead_pct().is_finite());
+            assert!(p.summary.contains("tick.match"));
+            assert!(p.summary.contains("matcher.cycles"));
+        }
+        let text = observe_report(&points, &OutputSink::discard());
+        assert!(text.contains("Observability"));
+        assert!(text.contains("region.run"));
     }
 
     #[test]

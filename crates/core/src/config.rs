@@ -188,6 +188,58 @@ impl Config {
             ..Self::paper_defaults()
         }
     }
+
+    /// Checks the configuration for values the scheduler cannot run
+    /// with. `ServerBuilder::build` calls this; hand-rolled embeddings
+    /// can call it directly.
+    pub fn validate(&self) -> Result<(), crate::error::CoreError> {
+        let fail = |reason: &str| {
+            Err(crate::error::CoreError::InvalidConfig {
+                reason: reason.to_string(),
+            })
+        };
+        match self.matcher {
+            MatcherPolicy::React { cycles } | MatcherPolicy::Metropolis { cycles }
+                if cycles == 0 =>
+            {
+                return fail("matcher cycle budget must be at least 1");
+            }
+            MatcherPolicy::ReactAdaptive { kappa } if !kappa.is_finite() || kappa <= 0.0 => {
+                return fail("adaptive matcher kappa must be finite and positive");
+            }
+            _ => {}
+        }
+        if self.batch.min_unassigned == 0 {
+            return fail("batch.min_unassigned must be at least 1");
+        }
+        if let Some(p) = self.batch.period {
+            if !p.is_finite() || p <= 0.0 {
+                return fail("batch.period must be finite and positive");
+            }
+        }
+        for (name, v) in [
+            (
+                "deadline.edge_probability_threshold",
+                self.deadline.edge_probability_threshold,
+            ),
+            (
+                "deadline.reassign_threshold",
+                self.deadline.reassign_threshold,
+            ),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(crate::error::CoreError::InvalidConfig {
+                    reason: format!("{name} must be a probability in [0, 1]"),
+                });
+            }
+        }
+        if let LatencyModelKind::Auto { ks_threshold } = self.latency_model {
+            if !ks_threshold.is_finite() || ks_threshold <= 0.0 {
+                return fail("latency_model Auto ks_threshold must be finite and positive");
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for Config {
@@ -235,6 +287,35 @@ mod tests {
             let m = policy.build(100);
             assert_eq!(m.name(), policy.name());
         }
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_degenerates() {
+        assert!(Config::paper_defaults().validate().is_ok());
+
+        let mut c = Config::paper_defaults();
+        c.matcher = MatcherPolicy::React { cycles: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.matcher = MatcherPolicy::ReactAdaptive { kappa: f64::NAN };
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.batch.min_unassigned = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.batch.period = Some(-1.0);
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.deadline.reassign_threshold = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.latency_model = LatencyModelKind::Auto { ks_threshold: 0.0 };
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum CoreError {
         /// The worker claimed to be executing it.
         worker: WorkerId,
     },
+    /// A configuration rejected by [`crate::Config::validate`] (returned
+    /// by `ServerBuilder::build`).
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +38,9 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateTask(t) => write!(f, "{t} already submitted"),
             CoreError::NotAssigned { task, worker } => {
                 write!(f, "{task} is not assigned to {worker}")
+            }
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
             }
         }
     }
@@ -61,5 +70,9 @@ mod tests {
             worker: WorkerId(2),
         };
         assert!(e.to_string().contains("not assigned"));
+        let e = CoreError::InvalidConfig {
+            reason: "batch.min_unassigned must be at least 1".into(),
+        };
+        assert!(e.to_string().starts_with("invalid configuration:"));
     }
 }

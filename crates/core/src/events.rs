@@ -1,6 +1,7 @@
 //! Task lifecycle audit log.
 //!
-//! When enabled ([`crate::ReactServer::with_audit`]), the server records
+//! When enabled ([`crate::ServerBuilder::audit`] or the `config.audit`
+//! flag), the server records
 //! every lifecycle transition of every task. Beyond debugging, the log
 //! makes the middleware's behaviour *checkable*: [`verify_lifecycles`]
 //! asserts that each task's event sequence matches the legal lifecycle

@@ -32,18 +32,23 @@
 //! integration) to act on.
 //!
 //! ```
-//! use react_core::{BatchTrigger, Config, ReactServer, Task, TaskCategory, TaskId, WorkerId};
-//! use react_geo::GeoPoint;
+//! use react_core::prelude::*;
 //!
 //! let mut config = Config::paper_defaults();
 //! config.batch = BatchTrigger { min_unassigned: 1, period: None }; // batch eagerly
-//! let mut server = ReactServer::new(config, 42);
+//! let mut server = ServerBuilder::new(config).seed(42).build().unwrap();
 //! let here = GeoPoint::new(37.98, 23.72);
 //! server.register_worker(WorkerId(1), here);
 //! server.submit_task(Task::new(TaskId(1), here, 60.0, 0.05, TaskCategory(0), "congestion on A?"), 0.0);
 //! let outcome = server.tick(0.0);
 //! assert_eq!(outcome.assignments, vec![(WorkerId(1), TaskId(1))]);
 //! ```
+//!
+//! Observability: pass any [`react_obs::Observer`] sink to
+//! [`ServerBuilder::observer`] to receive per-stage spans, matcher
+//! cycle/flip counters and latency histograms; the default
+//! [`react_obs::NullObserver`] is provably zero-cost (schedules are
+//! bit-identical with or without it).
 
 #![warn(missing_docs)]
 
@@ -54,6 +59,7 @@ pub mod events;
 pub mod ids;
 pub mod par;
 pub mod persist;
+pub mod prelude;
 pub mod profiling;
 pub mod scheduling;
 pub mod server;
@@ -69,7 +75,7 @@ pub use ids::{TaskCategory, TaskId, WorkerId};
 pub use persist::{export_profiles, import_profiles, PersistError};
 pub use profiling::{Availability, ProfilingComponent, WorkerProfile};
 pub use scheduling::{BatchResult, GraphBuilder, SchedulingComponent, WorkerRow};
-pub use server::{ReactServer, StageTimings, TickOutcome};
+pub use server::{CompletionOutcome, ReactServer, ServerBuilder, StageTimings, TickOutcome};
 pub use task::{Task, TaskState};
 pub use task_mgmt::TaskManagementComponent;
 pub use weight::WeightFunction;

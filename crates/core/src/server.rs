@@ -27,16 +27,17 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_geo::GeoPoint;
 use react_matching::{BipartiteGraph, CostModel, MatcherEngine};
-use std::time::Instant;
+use react_obs::{null_observer, CounterKind, HistogramKind, ObserverHandle, SpanKind, SpanTimer};
 
 /// Wall-clock seconds spent in each named stage of one tick's pipeline
 /// (expire → recall → build → match → commit).
 ///
-/// Purely observational: measured with [`std::time::Instant`], so the
-/// values vary run to run and never feed back into scheduling decisions
-/// (the *modelled* scheduler latency is
-/// [`TickOutcome::matching_seconds`]). Stages that did not run this tick
-/// report 0.
+/// Purely observational: measured against the monotonic clock (via
+/// [`react_obs::SpanTimer`]), so the values vary run to run and never
+/// feed back into scheduling decisions (the *modelled* scheduler latency
+/// is [`TickOutcome::matching_seconds`]). Stages that did not run this
+/// tick report 0. The same durations are emitted as `tick.*` spans
+/// through the server's observer.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
     /// Expiry sweep over the unassigned queue.
@@ -52,9 +53,41 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
-    /// Total measured pipeline time of the tick.
+    /// Total measured pipeline time of the tick: by construction exactly
+    /// the sum of the five stage fields, so it cannot drift from its
+    /// parts (checked by [`StageTimings::debug_validate`] under
+    /// `debug-invariants`).
     pub fn total(&self) -> f64 {
         self.expire + self.recall + self.build + self.matching + self.commit
+    }
+
+    /// Invariant check, active under the `debug-invariants` feature (and
+    /// compiled away otherwise): every stage duration is finite and
+    /// non-negative, and `total()` equals the sum of the parts.
+    #[inline]
+    pub fn debug_validate(&self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            let parts = [
+                ("expire", self.expire),
+                ("recall", self.recall),
+                ("build", self.build),
+                ("matching", self.matching),
+                ("commit", self.commit),
+            ];
+            for (name, v) in parts {
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "stage timing {name} invalid: {v}"
+                );
+            }
+            let sum: f64 = parts.iter().map(|(_, v)| v).sum();
+            assert!(
+                (self.total() - sum).abs() <= f64::EPSILON * 8.0 * (1.0 + sum.abs()),
+                "StageTimings::total drifted from the sum of its parts: {} vs {sum}",
+                self.total()
+            );
+        }
     }
 }
 
@@ -92,6 +125,85 @@ pub struct CompletionOutcome {
     pub exec_time: f64,
 }
 
+/// Fluent constructor for [`ReactServer`], consolidating what used to be
+/// the `ReactServer::new(..).with_audit().with_cost_model(..)` chain and
+/// adding observer wiring.
+///
+/// ```
+/// use react_core::prelude::*;
+///
+/// let server = ServerBuilder::new(Config::paper_defaults())
+///     .seed(42)
+///     .build()
+///     .expect("paper defaults are valid");
+/// assert_eq!(server.batches_run(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    config: Config,
+    seed: u64,
+    cost_model: CostModel,
+    audit: Option<bool>,
+    observer: ObserverHandle,
+}
+
+impl ServerBuilder {
+    /// Starts a builder for `config`. Defaults: seed 0, the
+    /// paper-calibrated cost model, audit as configured in
+    /// `config.audit`, and the null observer.
+    pub fn new(config: Config) -> Self {
+        ServerBuilder {
+            config,
+            seed: 0,
+            cost_model: CostModel::paper_calibrated(),
+            audit: None,
+            observer: null_observer(),
+        }
+    }
+
+    /// RNG seed for the randomized matchers (equal seeds ⇒ equal runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the scheduler cost model (e.g. [`CostModel::free`] for
+    /// quality-only experiments).
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Forces the task lifecycle audit log on or off, overriding the
+    /// configuration flag.
+    pub fn audit(mut self, enabled: bool) -> Self {
+        self.audit = Some(enabled);
+        self
+    }
+
+    /// Routes the server's telemetry — `tick`/stage spans, task and
+    /// matcher counters, latency histograms — to `observer`. Observers
+    /// are write-only sinks; schedules are bit-identical whatever sink
+    /// is installed.
+    pub fn observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Validates the configuration and assembles the server.
+    pub fn build(self) -> Result<ReactServer, CoreError> {
+        self.config.validate()?;
+        let audit = self.audit.unwrap_or(self.config.audit);
+        Ok(ReactServer::assemble(
+            self.config,
+            self.seed,
+            self.cost_model,
+            audit,
+            self.observer,
+        ))
+    }
+}
+
 /// A REACT region server.
 #[derive(Debug, Clone)]
 pub struct ReactServer {
@@ -110,20 +222,34 @@ pub struct ReactServer {
     total_matching_seconds: f64,
     batches_run: u64,
     audit: Option<AuditLog>,
+    observer: ObserverHandle,
 }
 
 impl ReactServer {
-    /// Creates a server with the given configuration and RNG seed (the
-    /// seed feeds the randomized matchers; equal seeds ⇒ equal runs).
-    pub fn new(config: Config, seed: u64) -> Self {
+    /// Starts a [`ServerBuilder`] for `config` — the supported way to
+    /// construct a server.
+    pub fn builder(config: Config) -> ServerBuilder {
+        ServerBuilder::new(config)
+    }
+
+    /// The infallible assembly all construction paths share. Private:
+    /// public construction goes through [`ServerBuilder::build`], which
+    /// validates first.
+    fn assemble(
+        config: Config,
+        seed: u64,
+        cost_model: CostModel,
+        audit: bool,
+        observer: ObserverHandle,
+    ) -> Self {
         let estimator = config.estimator;
-        let audit = config.audit.then(AuditLog::new);
-        let engine = MatcherEngine::new(config.matcher.spec());
+        let audit = audit.then(AuditLog::new);
+        let engine = MatcherEngine::new(config.matcher.spec()).with_observer(observer.clone());
         ReactServer {
             config,
             profiling: ProfilingComponent::new(estimator),
             tasks: TaskManagementComponent::new(),
-            cost_model: CostModel::paper_calibrated(),
+            cost_model,
             engine,
             rng: SmallRng::seed_from_u64(seed),
             busy_until: 0.0,
@@ -131,11 +257,30 @@ impl ReactServer {
             total_matching_seconds: 0.0,
             batches_run: 0,
             audit,
+            observer,
         }
+    }
+
+    /// Creates a server with the given configuration and RNG seed (the
+    /// seed feeds the randomized matchers; equal seeds ⇒ equal runs).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ReactServer::builder(config).seed(seed).build() instead"
+    )]
+    pub fn new(config: Config, seed: u64) -> Self {
+        let audit = config.audit;
+        ReactServer::assemble(
+            config,
+            seed,
+            CostModel::paper_calibrated(),
+            audit,
+            null_observer(),
+        )
     }
 
     /// Enables the task lifecycle audit log (see [`crate::AuditLog`]),
     /// regardless of the configuration flag.
+    #[deprecated(since = "0.2.0", note = "use ServerBuilder::audit(true) instead")]
     pub fn with_audit(mut self) -> Self {
         self.audit.get_or_insert_with(AuditLog::new);
         self
@@ -154,9 +299,23 @@ impl ReactServer {
 
     /// Replaces the scheduler cost model (e.g. [`CostModel::free`] for
     /// quality-only experiments).
+    #[deprecated(since = "0.2.0", note = "use ServerBuilder::cost_model(..) instead")]
     pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
         self.cost_model = cost_model;
         self
+    }
+
+    /// Routes this server's telemetry to `observer` (also re-routes the
+    /// matcher engine). Prefer [`ServerBuilder::observer`]; this exists
+    /// for embeddings that construct the server before the sink.
+    pub fn set_observer(&mut self, observer: ObserverHandle) {
+        self.engine.set_observer(observer.clone());
+        self.observer = observer;
+    }
+
+    /// The observer sink receiving this server's telemetry.
+    pub fn observer(&self) -> &ObserverHandle {
+        &self.observer
     }
 
     /// The active configuration.
@@ -267,34 +426,56 @@ impl ReactServer {
     /// **expire** → **recall** → **build** → **match** → **commit**
     /// (the last three only when the scheduler is free and the batch
     /// trigger fires). Per-stage wall-clock timings are surfaced in
-    /// [`TickOutcome::stage_timings`].
+    /// [`TickOutcome::stage_timings`] and emitted as `tick.*` spans
+    /// (plus task/batch counters) through the configured observer.
     pub fn tick(&mut self, now: f64) -> TickOutcome {
+        let enabled = self.observer.enabled();
+        let tick_timer = SpanTimer::start();
         let mut outcome = TickOutcome {
             effective_at: now,
             ..TickOutcome::default()
         };
 
-        let t = Instant::now();
+        let t = SpanTimer::start();
         outcome.expired = self.stage_expire(now);
-        outcome.stage_timings.expire = t.elapsed().as_secs_f64();
+        outcome.stage_timings.expire = t.finish(self.observer.as_ref(), SpanKind::StageExpire);
 
-        let t = Instant::now();
+        let t = SpanTimer::start();
         outcome.recalls = self.stage_recall(now);
-        outcome.stage_timings.recall = t.elapsed().as_secs_f64();
+        outcome.stage_timings.recall = t.finish(self.observer.as_ref(), SpanKind::StageRecall);
 
         if self.batch_due(now) {
-            let t = Instant::now();
+            let t = SpanTimer::start();
             let (graph, workers, task_ids, pruned) = self.stage_build(now);
-            outcome.stage_timings.build = t.elapsed().as_secs_f64();
+            outcome.stage_timings.build = t.finish(self.observer.as_ref(), SpanKind::StageBuild);
 
-            let t = Instant::now();
+            let t = SpanTimer::start();
             let batch = self.stage_match(&graph, &workers, &task_ids, pruned);
-            outcome.stage_timings.matching = t.elapsed().as_secs_f64();
+            outcome.stage_timings.matching = t.finish(self.observer.as_ref(), SpanKind::StageMatch);
 
-            let t = Instant::now();
+            let t = SpanTimer::start();
             self.stage_commit(now, batch, &mut outcome);
-            outcome.stage_timings.commit = t.elapsed().as_secs_f64();
+            outcome.stage_timings.commit = t.finish(self.observer.as_ref(), SpanKind::StageCommit);
         }
+        outcome.stage_timings.debug_validate();
+        if enabled {
+            let obs = self.observer.as_ref();
+            if !outcome.expired.is_empty() {
+                obs.incr(CounterKind::TasksExpired, outcome.expired.len() as u64);
+            }
+            if !outcome.recalls.is_empty() {
+                obs.incr(CounterKind::Reassignments, outcome.recalls.len() as u64);
+            }
+            if !outcome.assignments.is_empty() {
+                obs.incr(CounterKind::TasksAssigned, outcome.assignments.len() as u64);
+            }
+            if let Some(batch) = &outcome.batch {
+                obs.incr(CounterKind::BatchesRun, 1);
+                obs.observe(HistogramKind::BatchSize, batch.graph_shape.1 as f64);
+                obs.observe(HistogramKind::MatchingSeconds, outcome.matching_seconds);
+            }
+        }
+        tick_timer.finish(self.observer.as_ref(), SpanKind::Tick);
         outcome
     }
 
@@ -340,6 +521,13 @@ impl ReactServer {
     /// Pipeline stage 3: two-phase graph construction.
     fn stage_build(&mut self, now: f64) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
         let builder = GraphBuilder::prepare(&self.config, &mut self.profiling);
+        if self.observer.enabled() {
+            let refits = builder.rows().iter().filter(|r| r.model.is_some()).count();
+            if refits > 0 {
+                self.observer
+                    .incr(CounterKind::ProfileRefits, refits as u64);
+            }
+        }
         builder.instantiate(&self.profiling, &self.tasks, now)
     }
 
@@ -435,6 +623,17 @@ impl ReactServer {
                 met_deadline,
             },
         );
+        if self.observer.enabled() {
+            let obs = self.observer.as_ref();
+            obs.incr(CounterKind::TasksCompleted, 1);
+            if met_deadline {
+                obs.incr(CounterKind::DeadlinesMet, 1);
+            }
+            if positive_feedback {
+                obs.incr(CounterKind::PositiveFeedback, 1);
+            }
+            obs.observe(HistogramKind::ExecSeconds, exec_time);
+        }
         Ok(CompletionOutcome {
             met_deadline,
             positive_feedback,
@@ -472,7 +671,11 @@ mod tests {
             min_unassigned: 1,
             period: None,
         };
-        ReactServer::new(config, 7).with_cost_model(CostModel::free())
+        ReactServer::builder(config)
+            .seed(7)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -496,7 +699,7 @@ mod tests {
     fn batch_trigger_threshold_respected() {
         let mut config = Config::paper_defaults(); // min_unassigned = 10
         config.charge_matching_time = false;
-        let mut s = ReactServer::new(config, 1);
+        let mut s = ReactServer::builder(config).seed(1).build().unwrap();
         for w in 0..20 {
             s.register_worker(WorkerId(w), here());
         }
@@ -516,7 +719,7 @@ mod tests {
             min_unassigned: 1,
             period: None,
         };
-        let mut s = ReactServer::new(config, 1);
+        let mut s = ReactServer::builder(config).seed(1).build().unwrap();
         for w in 0..5 {
             s.register_worker(WorkerId(w), here());
         }
@@ -606,7 +809,7 @@ mod tests {
             period: None,
         };
         config.charge_matching_time = false;
-        let mut s = ReactServer::new(config, 3);
+        let mut s = ReactServer::builder(config).seed(3).build().unwrap();
         s.register_worker(WorkerId(1), here());
         for t in 0..3 {
             s.submit_task(task(100 + t, 60.0), 0.0);
@@ -679,7 +882,11 @@ mod tests {
             min_unassigned: 1,
             period: None,
         };
-        let mut s = ReactServer::new(config, 5).with_cost_model(CostModel::free());
+        let mut s = ReactServer::builder(config)
+            .seed(5)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
         for w in 0..4 {
             s.register_worker(WorkerId(w), here());
         }
@@ -720,6 +927,140 @@ mod tests {
         assert_eq!(idle.stage_timings.build, 0.0);
         assert_eq!(idle.stage_timings.matching, 0.0);
         assert_eq!(idle.stage_timings.commit, 0.0);
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let mut config = Config::paper_defaults();
+        config.matcher = MatcherPolicy::React { cycles: 0 };
+        let err = ReactServer::builder(config).build().unwrap_err();
+        assert!(matches!(err, crate::CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn builder_audit_overrides_config_flag() {
+        let mut config = Config::paper_defaults();
+        config.audit = true;
+        let s = ReactServer::builder(config.clone()).build().unwrap();
+        assert!(s.audit().is_some(), "config flag honoured by default");
+        let s = ReactServer::builder(config).audit(false).build().unwrap();
+        assert!(s.audit().is_none(), "builder override wins");
+        let s = ReactServer::builder(Config::paper_defaults())
+            .audit(true)
+            .build()
+            .unwrap();
+        assert!(s.audit().is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        let mut old = ReactServer::new(config.clone(), 7).with_cost_model(CostModel::free());
+        let mut new = ReactServer::builder(config)
+            .seed(7)
+            .cost_model(CostModel::free())
+            .build()
+            .unwrap();
+        for s in [&mut old, &mut new] {
+            s.register_worker(WorkerId(1), here());
+            s.submit_task(task(1, 60.0), 0.0);
+        }
+        let a = old.tick(0.0);
+        let b = new.tick(0.0);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.effective_at.to_bits(), b.effective_at.to_bits());
+    }
+
+    #[test]
+    fn observer_receives_stage_spans_and_counters() {
+        use react_obs::RecordingObserver;
+        use std::sync::Arc;
+
+        let rec = RecordingObserver::new();
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        let mut s = ReactServer::builder(config)
+            .seed(7)
+            .cost_model(CostModel::free())
+            .observer(Arc::new(rec.clone()))
+            .build()
+            .unwrap();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        let out = s.tick(0.0);
+        assert_eq!(out.assignments.len(), 1);
+        s.complete_task(TaskId(1), WorkerId(1), 5.0, true).unwrap();
+
+        for kind in [
+            SpanKind::Tick,
+            SpanKind::StageExpire,
+            SpanKind::StageRecall,
+            SpanKind::StageBuild,
+            SpanKind::StageMatch,
+            SpanKind::StageCommit,
+            SpanKind::MatcherAssign,
+        ] {
+            let stats = rec
+                .span_stats(kind)
+                .unwrap_or_else(|| panic!("missing span {}", kind.name()));
+            assert!(stats.count >= 1, "{}", kind.name());
+            assert!(stats.total_seconds >= 0.0);
+        }
+        assert_eq!(rec.counter(CounterKind::TasksAssigned), 1);
+        assert_eq!(rec.counter(CounterKind::BatchesRun), 1);
+        assert_eq!(rec.counter(CounterKind::TasksCompleted), 1);
+        assert_eq!(rec.counter(CounterKind::DeadlinesMet), 1);
+        assert_eq!(rec.counter(CounterKind::PositiveFeedback), 1);
+        assert!(rec.counter(CounterKind::MatcherCycles) > 0);
+        assert!(rec.histogram(HistogramKind::ExecSeconds).is_some());
+        assert!(rec.histogram(HistogramKind::MatchingSeconds).is_some());
+    }
+
+    #[test]
+    fn null_and_recording_observers_yield_identical_schedules() {
+        use react_obs::RecordingObserver;
+        use std::sync::Arc;
+
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        let build = |observed: bool| {
+            let b = ReactServer::builder(config.clone()).seed(99);
+            let b = if observed {
+                b.observer(Arc::new(RecordingObserver::new()))
+            } else {
+                b
+            };
+            b.build().unwrap()
+        };
+        let mut plain = build(false);
+        let mut observed = build(true);
+        for s in [&mut plain, &mut observed] {
+            for w in 0..4 {
+                s.register_worker(WorkerId(w), here());
+            }
+            for t in 0..12u64 {
+                s.submit_task(task(t, 600.0), 0.0);
+            }
+        }
+        for step in 0..20 {
+            let now = step as f64;
+            let a = plain.tick(now);
+            let b = observed.tick(now);
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.effective_at.to_bits(), b.effective_at.to_bits());
+            assert_eq!(a.matching_seconds.to_bits(), b.matching_seconds.to_bits());
+        }
     }
 
     #[test]

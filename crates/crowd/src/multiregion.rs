@@ -19,6 +19,7 @@ use crate::generator::TaskGenerator;
 use crate::runner::{RunReport, ScenarioRunner};
 use crate::scenario::Scenario;
 use react_geo::{RegionGrid, RegionId};
+use react_obs::{null_observer, CounterKind, ObserverHandle, SpanKind, SpanTimer};
 use react_sim::RngStreams;
 
 /// Configuration of a multi-region run: the *global* scenario (total
@@ -132,12 +133,43 @@ impl std::error::Error for SchedulePermutationMismatch {}
 /// Executes a [`MultiRegionScenario`].
 pub struct MultiRegionRunner {
     scenario: MultiRegionScenario,
+    observer: ObserverHandle,
 }
 
 impl MultiRegionRunner {
     /// Creates a runner.
     pub fn new(scenario: MultiRegionScenario) -> Self {
-        MultiRegionRunner { scenario }
+        MultiRegionRunner {
+            scenario,
+            observer: null_observer(),
+        }
+    }
+
+    /// Attaches an observability sink shared by every region server.
+    /// Each region's execution is wrapped in a `region.run` span and
+    /// bumps the `regions.run` counter; the per-region [`ReactServer`]s
+    /// report their stage spans and matcher counters to the same sink.
+    /// The sink must tolerate concurrent reporting when the `parallel`
+    /// feature routes regions onto scoped threads (every bundled
+    /// observer does). Observers are write-only — reports stay
+    /// bit-identical whatever sink is attached.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Runs one region scenario, wrapped in its observability span.
+    fn run_region(&self, sc: Scenario) -> RunReport {
+        let enabled = self.observer.enabled();
+        let timer = enabled.then(SpanTimer::start);
+        let report = ScenarioRunner::new(sc)
+            .with_observer(self.observer.clone())
+            .run();
+        if let Some(timer) = timer {
+            timer.finish(self.observer.as_ref(), SpanKind::RegionRun);
+            self.observer.incr(CounterKind::RegionsRun, 1);
+        }
+        report
     }
 
     /// Generates the global stream, partitions it by region, and runs
@@ -162,7 +194,7 @@ impl MultiRegionRunner {
         let per_region = self
             .region_scenarios()
             .into_iter()
-            .map(|(region_id, sc)| (region_id, ScenarioRunner::new(sc).run()))
+            .map(|(region_id, sc)| (region_id, self.run_region(sc)))
             .collect();
         MultiRegionReport { per_region }
     }
@@ -185,7 +217,7 @@ impl MultiRegionRunner {
             return MultiRegionReport {
                 per_region: scenarios
                     .into_iter()
-                    .map(|(region_id, sc)| (region_id, ScenarioRunner::new(sc).run()))
+                    .map(|(region_id, sc)| (region_id, self.run_region(sc)))
                     .collect(),
             };
         }
@@ -199,7 +231,7 @@ impl MultiRegionRunner {
                 scope.spawn(move || {
                     for (_, sc, out) in part.iter_mut() {
                         let sc = sc.take().expect("scenario consumed once");
-                        *out = Some(ScenarioRunner::new(sc).run());
+                        *out = Some(self.run_region(sc));
                     }
                 });
             }
@@ -471,6 +503,41 @@ mod tests {
                 assert!(!orders[i + 1..].contains(a), "duplicate ordering");
             }
         }
+    }
+
+    #[test]
+    fn observer_counts_regions_and_leaves_results_identical() {
+        use react_obs::RecordingObserver;
+        use std::sync::Arc;
+        let scenario = MultiRegionScenario {
+            global: global(5),
+            rows: 2,
+            cols: 2,
+        };
+        let baseline = MultiRegionRunner::new(MultiRegionScenario {
+            global: global(5),
+            rows: 2,
+            cols: 2,
+        })
+        .run_serial();
+        let recording = RecordingObserver::new();
+        let observed = MultiRegionRunner::new(scenario)
+            .with_observer(Arc::new(recording.clone()))
+            .run_serial();
+        assert!(
+            baseline.identical(&observed),
+            "attaching a recording observer must not perturb any result"
+        );
+        assert_eq!(recording.counter(CounterKind::RegionsRun), 4);
+        let span = recording
+            .span_stats(SpanKind::RegionRun)
+            .expect("every region emits a region.run span");
+        assert_eq!(span.count, 4);
+        assert!(span.total_seconds > 0.0);
+        assert!(
+            recording.counter(CounterKind::MatcherCycles) > 0,
+            "region servers must forward matcher counters to the shared sink"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::generator::TaskGenerator;
 use crate::scenario::Scenario;
 use react_core::{AuditLog, ReactServer, Task, TaskId, WorkerId};
 use react_metrics::TimeSeries;
+use react_obs::{null_observer, ObserverHandle};
 use react_prob::distributions::{Exponential, UniformRange};
 use react_sim::{RngStreams, SimDuration, SimTime, Simulator};
 use std::collections::HashMap;
@@ -171,12 +172,25 @@ impl Workload {
 /// Runs one [`Scenario`] to completion.
 pub struct ScenarioRunner {
     scenario: Scenario,
+    observer: ObserverHandle,
 }
 
 impl ScenarioRunner {
     /// Creates a runner for the scenario.
     pub fn new(scenario: Scenario) -> Self {
-        ScenarioRunner { scenario }
+        ScenarioRunner {
+            scenario,
+            observer: null_observer(),
+        }
+    }
+
+    /// Attaches an observability sink; the embedded [`ReactServer`]
+    /// reports per-stage spans, matcher counters and latency histograms
+    /// to it. Observers are write-only: the run's schedule is
+    /// bit-identical whatever sink is attached.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Executes the simulation and returns the report.
@@ -190,7 +204,11 @@ impl ScenarioRunner {
         // Crowd.
         let behaviors: Vec<WorkerBehavior> =
             generate_population(sc.n_workers, &sc.behavior, &mut pop_rng);
-        let mut server = ReactServer::new(sc.config.clone(), sc.seed ^ 0x5eed);
+        let mut server = ReactServer::builder(sc.config.clone())
+            .seed(sc.seed ^ 0x5eed)
+            .observer(self.observer.clone())
+            .build()
+            .expect("scenario carries a valid middleware config");
         for (i, _) in behaviors.iter().enumerate() {
             server.register_worker(WorkerId(i as u64), sc.region.random_point(&mut pop_rng));
         }

@@ -33,6 +33,7 @@ use crate::metropolis::MetropolisMatcher;
 use crate::random::RandomMatcher;
 use crate::react::ReactMatcher;
 use rand::RngCore;
+use react_obs::{null_observer, CounterKind, ObserverHandle, SpanKind, SpanTimer};
 
 /// Everything one assignment pass needs from its caller.
 pub struct MatchContext<'a> {
@@ -136,17 +137,34 @@ pub struct MatcherEngine {
     spec: MatcherSpec,
     built: Option<(Option<usize>, Box<dyn Matcher>)>,
     rebuilds: u64,
+    observer: ObserverHandle,
 }
 
 impl MatcherEngine {
     /// Creates an engine for the spec; nothing is built until the first
     /// [`MatcherEngine::matcher`] or [`MatcherEngine::assign`] call.
+    /// Telemetry goes to the null observer until
+    /// [`MatcherEngine::set_observer`] is called.
     pub fn new(spec: MatcherSpec) -> Self {
         MatcherEngine {
             spec,
             built: None,
             rebuilds: 0,
+            observer: null_observer(),
         }
+    }
+
+    /// Routes this engine's telemetry (assign spans, cycle/flip/rebuild
+    /// counters) to `observer`. Observers are write-only sinks and never
+    /// influence matching results.
+    pub fn set_observer(&mut self, observer: ObserverHandle) {
+        self.observer = observer;
+    }
+
+    /// Builder-style variant of [`MatcherEngine::set_observer`].
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.set_observer(observer);
+        self
     }
 
     /// The spec this engine runs.
@@ -186,10 +204,27 @@ impl MatcherEngine {
 
     /// Runs one assignment pass over `graph` under `ctx`.
     pub fn assign(&mut self, graph: &BipartiteGraph, ctx: &mut MatchContext<'_>) -> Matching {
+        let enabled = self.observer.enabled();
+        let timer = enabled.then(SpanTimer::start);
+        let rebuilds_before = self.rebuilds;
         let m = self.matcher(ctx.edge_budget).assign(graph, ctx.rng);
         // Engine-level safety net: also covers matchers registered by
         // embedders, which the per-algorithm hooks cannot see.
         crate::invariants::debug_check_matching(self.name(), graph, &m);
+        if enabled {
+            if let Some(timer) = timer {
+                timer.finish(self.observer.as_ref(), SpanKind::MatcherAssign);
+            }
+            let obs = self.observer.as_ref();
+            obs.incr(CounterKind::MatcherCycles, m.stats.cycles);
+            obs.incr(CounterKind::FlipsAccepted, m.stats.flips_accepted);
+            obs.incr(CounterKind::FlipsRejected, m.stats.flips_rejected);
+            obs.incr(CounterKind::ConflictsResolved, m.stats.conflicts_resolved);
+            let rebuilt = self.rebuilds - rebuilds_before;
+            if rebuilt > 0 {
+                obs.incr(CounterKind::MatcherRebuilds, rebuilt);
+            }
+        }
         m
     }
 }
@@ -205,11 +240,11 @@ impl std::fmt::Debug for MatcherEngine {
 }
 
 impl Clone for MatcherEngine {
-    /// Clones the spec; the built matcher is memoisation and is rebuilt
-    /// lazily by the clone (all matchers are stateless, so this cannot
-    /// change behaviour).
+    /// Clones the spec and observer handle; the built matcher is
+    /// memoisation and is rebuilt lazily by the clone (all matchers are
+    /// stateless, so this cannot change behaviour).
     fn clone(&self) -> Self {
-        MatcherEngine::new(self.spec)
+        MatcherEngine::new(self.spec).with_observer(self.observer.clone())
     }
 }
 
@@ -383,6 +418,54 @@ mod tests {
         let mut r = MatcherRegistry::with_builtins();
         r.register_spec("react", MatcherSpec::Greedy);
         assert_eq!(r.build("react", 1).unwrap().name(), "greedy");
+    }
+
+    #[test]
+    fn engine_reports_spans_and_counters_to_observer() {
+        use react_obs::RecordingObserver;
+        use std::sync::Arc;
+
+        let g =
+            BipartiteGraph::full(8, 8, |u, v| ((u.0 * 5 + v.0 * 3) % 11) as f64 / 11.0).unwrap();
+        let rec = RecordingObserver::new();
+        let mut engine = MatcherEngine::new(MatcherSpec::React { cycles: 40 })
+            .with_observer(Arc::new(rec.clone()));
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..3 {
+            engine.assign(&g, &mut MatchContext::new(&mut rng, g.n_edges()));
+        }
+        let span = rec
+            .span_stats(SpanKind::MatcherAssign)
+            .expect("assign span");
+        assert_eq!(span.count, 3);
+        assert!(span.total_seconds >= 0.0);
+        assert_eq!(rec.counter(CounterKind::MatcherCycles), 120);
+        assert_eq!(
+            rec.counter(CounterKind::FlipsAccepted) + rec.counter(CounterKind::FlipsRejected),
+            120
+        );
+        assert_eq!(rec.counter(CounterKind::MatcherRebuilds), 1);
+    }
+
+    #[test]
+    fn engine_observer_does_not_change_results() {
+        use react_obs::RecordingObserver;
+        use std::sync::Arc;
+
+        let g =
+            BipartiteGraph::full(6, 6, |u, v| ((u.0 * 7 + v.0 * 3) % 10) as f64 / 10.0).unwrap();
+        let spec = MatcherSpec::React { cycles: 100 };
+        let mut plain = MatcherEngine::new(spec);
+        let mut observed =
+            MatcherEngine::new(spec).with_observer(Arc::new(RecordingObserver::new()));
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        for _ in 0..4 {
+            let a = plain.assign(&g, &mut MatchContext::new(&mut rng_a, g.n_edges()));
+            let b = observed.assign(&g, &mut MatchContext::new(&mut rng_b, g.n_edges()));
+            assert_eq!(a.pairs, b.pairs);
+            assert_eq!(a.total_weight.to_bits(), b.total_weight.to_bits());
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use greedy::GreedyMatcher;
 pub use hopcroft_karp::HopcroftKarpMatcher;
 pub use hungarian::HungarianMatcher;
 pub use invariants::{InvariantViolation, MatchingValidator};
-pub use matcher::{Matcher, Matching};
+pub use matcher::{MatchStats, Matcher, Matching};
 pub use metropolis::MetropolisMatcher;
 pub use random::RandomMatcher;
 pub use react::ReactMatcher;

@@ -3,6 +3,24 @@
 use crate::graph::{BipartiteGraph, TaskIdx, WorkerIdx};
 use rand::RngCore;
 
+/// Work counters reported by a matcher run, consumed by the
+/// observability layer (matcher cycle/flip telemetry).
+///
+/// The local-search matchers ([`crate::ReactMatcher`],
+/// [`crate::MetropolisMatcher`]) fill every field; direct-construction
+/// algorithms (greedy, Hungarian, …) leave the default zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Local-search cycles executed.
+    pub cycles: u64,
+    /// Flips that changed the matching state.
+    pub flips_accepted: u64,
+    /// Flips attempted but rejected (annealing loss or losing conflict).
+    pub flips_rejected: u64,
+    /// Conflicting selections that displaced incumbent edges.
+    pub conflicts_resolved: u64,
+}
+
 /// The result of running a matching algorithm over a bipartite graph.
 #[derive(Debug, Clone, Default)]
 pub struct Matching {
@@ -14,6 +32,9 @@ pub struct Matching {
     /// Abstract compute cost of the run, fed to the calibrated
     /// [`crate::cost::CostModel`] to charge simulated scheduler time.
     pub cost_units: f64,
+    /// Work counters from the run (zeros for matchers that don't
+    /// local-search).
+    pub stats: MatchStats,
 }
 
 impl Matching {
@@ -24,7 +45,14 @@ impl Matching {
             pairs,
             total_weight,
             cost_units,
+            stats: MatchStats::default(),
         }
+    }
+
+    /// Attaches work counters to the result.
+    pub fn with_stats(mut self, stats: MatchStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Number of matched pairs.
@@ -109,6 +137,14 @@ mod tests {
         assert!(!m.is_empty());
         assert!((m.total_weight - 0.75).abs() < 1e-12);
         assert_eq!(m.cost_units, 10.0);
+        assert_eq!(m.stats, MatchStats::default());
+        let m = m.with_stats(MatchStats {
+            cycles: 5,
+            flips_accepted: 3,
+            flips_rejected: 2,
+            conflicts_resolved: 1,
+        });
+        assert_eq!(m.stats.cycles, 5);
         assert_eq!(m.task_of(WorkerIdx(0)), Some(TaskIdx(1)));
         assert_eq!(m.task_of(WorkerIdx(9)), None);
         assert_eq!(m.worker_of(TaskIdx(0)), Some(WorkerIdx(1)));

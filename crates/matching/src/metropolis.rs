@@ -18,7 +18,7 @@
 
 use crate::graph::{is_negligible_weight, BipartiteGraph, EdgeId};
 use crate::invariants::{debug_check_matching, debug_check_state};
-use crate::matcher::{Matcher, Matching};
+use crate::matcher::{MatchStats, Matcher, Matching};
 use crate::state::MatchingState;
 use rand::{Rng, RngCore};
 
@@ -51,12 +51,26 @@ impl MetropolisMatcher {
 
     /// Runs the walk and returns the final state.
     pub fn run_state(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> MatchingState {
+        self.run_state_stats(graph, rng).0
+    }
+
+    /// Runs the walk and returns the final state together with the work
+    /// counters for the observability layer. Counting happens strictly
+    /// after each flip decision, so the RNG draw sequence is exactly the
+    /// historical one.
+    pub fn run_state_stats(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut dyn RngCore,
+    ) -> (MatchingState, MatchStats) {
         let mut state = MatchingState::new(graph);
+        let mut stats = MatchStats::default();
         let n_edges = graph.n_edges();
         if n_edges == 0 {
-            return state;
+            return (state, stats);
         }
         for _ in 0..self.cycles {
+            stats.cycles += 1;
             let e = EdgeId(rng.gen_range(0..n_edges as u32));
             let weight = graph.edge(e).weight;
             if state.is_selected(e) {
@@ -66,11 +80,17 @@ impl MetropolisMatcher {
                 // old exact-zero comparison on real scheduler weights.
                 if is_negligible_weight(weight) || self.accept_worse(-weight, rng) {
                     state.deselect(graph, e);
+                    stats.flips_accepted += 1;
+                } else {
+                    stats.flips_rejected += 1;
                 }
                 continue;
             }
             match state.conflicts(graph, e) {
-                (None, None) => state.select(graph, e),
+                (None, None) => {
+                    state.select(graph, e);
+                    stats.flips_accepted += 1;
+                }
                 (cw, ct) => {
                     // g(x′) = 0 → Δg = −g(x). No special handling: treat
                     // it as an ordinary downhill move.
@@ -82,12 +102,16 @@ impl MetropolisMatcher {
                             state.deselect(graph, c);
                         }
                         state.select(graph, e);
+                        stats.flips_accepted += 1;
+                        stats.conflicts_resolved += 1;
+                    } else {
+                        stats.flips_rejected += 1;
                     }
                 }
             }
             debug_check_state("metropolis", graph, &state);
         }
-        state
+        (state, stats)
     }
 
     fn accept_worse(&self, delta: f64, rng: &mut dyn RngCore) -> bool {
@@ -98,7 +122,7 @@ impl MetropolisMatcher {
 
 impl Matcher for MetropolisMatcher {
     fn assign(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> Matching {
-        let state = self.run_state(graph, rng);
+        let (state, stats) = self.run_state_stats(graph, rng);
         let pairs = state
             .selected_edges()
             .into_iter()
@@ -110,7 +134,7 @@ impl Matcher for MetropolisMatcher {
         // Same cost law as REACT: the paper measured near-identical
         // running times for the two at equal cycles.
         let cost = self.cycles as f64 * graph.n_edges() as f64;
-        let m = Matching::from_pairs(pairs, cost);
+        let m = Matching::from_pairs(pairs, cost).with_stats(stats);
         debug_check_matching("metropolis", graph, &m);
         m
     }
@@ -223,5 +247,15 @@ mod tests {
         let m = MetropolisMatcher::with_cycles(50).assign(&g, &mut rng());
         assert_eq!(m.cost_units, 50.0 * 100.0);
         assert_eq!(MetropolisMatcher::default().name(), "metropolis");
+    }
+
+    #[test]
+    fn stats_account_for_every_cycle() {
+        let g =
+            BipartiteGraph::full(25, 25, |u, v| ((u.0 * 7 + v.0 * 13) % 50) as f64 / 50.0).unwrap();
+        let m = MetropolisMatcher::with_cycles(300).assign(&g, &mut rng());
+        assert_eq!(m.stats.cycles, 300);
+        assert_eq!(m.stats.flips_accepted + m.stats.flips_rejected, 300);
+        assert!(m.stats.flips_accepted > 0);
     }
 }

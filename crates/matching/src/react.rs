@@ -27,7 +27,7 @@
 
 use crate::graph::{is_negligible_weight, BipartiteGraph, EdgeId};
 use crate::invariants::{debug_check_matching, debug_check_state};
-use crate::matcher::{Matcher, Matching};
+use crate::matcher::{MatchStats, Matcher, Matching};
 use crate::state::MatchingState;
 use rand::{Rng, RngCore};
 
@@ -74,26 +74,41 @@ impl ReactMatcher {
     /// and for the ablation experiments that inspect intermediate
     /// fitness).
     pub fn run_state(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> MatchingState {
+        self.run_state_stats(graph, rng).0
+    }
+
+    /// Runs Algorithm 1 and returns the final state together with the
+    /// work counters for the observability layer.
+    pub fn run_state_stats(
+        &self,
+        graph: &BipartiteGraph,
+        rng: &mut dyn RngCore,
+    ) -> (MatchingState, MatchStats) {
         let mut state = MatchingState::new(graph);
+        let mut stats = MatchStats::default();
         let n_edges = graph.n_edges();
         if n_edges == 0 {
-            return state;
+            return (state, stats);
         }
         for _ in 0..self.cycles {
             let e = EdgeId(rng.gen_range(0..n_edges as u32));
-            self.flip(graph, &mut state, e, rng);
+            self.flip(graph, &mut state, e, rng, &mut stats);
+            stats.cycles += 1;
             debug_check_state("react", graph, &state);
         }
-        state
+        (state, stats)
     }
 
-    /// One flip attempt on edge `e`.
+    /// One flip attempt on edge `e`. Counting into `stats` happens only
+    /// after the flip decision, so the RNG draw sequence is exactly the
+    /// historical one.
     fn flip(
         &self,
         graph: &BipartiteGraph,
         state: &mut MatchingState,
         e: EdgeId,
         rng: &mut dyn RngCore,
+        stats: &mut MatchStats,
     ) {
         let weight = graph.edge(e).weight;
         if state.is_selected(e) {
@@ -105,6 +120,9 @@ impl ReactMatcher {
             // anneal.
             if is_negligible_weight(weight) || self.accept_worse(-weight, rng) {
                 state.deselect(graph, e);
+                stats.flips_accepted += 1;
+            } else {
+                stats.flips_rejected += 1;
             }
             return;
         }
@@ -112,6 +130,7 @@ impl ReactMatcher {
             (None, None) => {
                 // Δg = +w ≥ 0 — always accept.
                 state.select(graph, e);
+                stats.flips_accepted += 1;
             }
             (cw, ct) => {
                 // g(x′) = 0 case: replace iff the new edge beats every
@@ -128,6 +147,10 @@ impl ReactMatcher {
                         state.deselect(graph, c);
                     }
                     state.select(graph, e);
+                    stats.flips_accepted += 1;
+                    stats.conflicts_resolved += 1;
+                } else {
+                    stats.flips_rejected += 1;
                 }
             }
         }
@@ -142,7 +165,7 @@ impl ReactMatcher {
 
 impl Matcher for ReactMatcher {
     fn assign(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> Matching {
-        let state = self.run_state(graph, rng);
+        let (state, stats) = self.run_state_stats(graph, rng);
         let pairs = state
             .selected_edges()
             .into_iter()
@@ -153,7 +176,7 @@ impl Matcher for ReactMatcher {
             .collect();
         // Worst-case complexity O(c·E) — see the module docs.
         let cost = self.cycles as f64 * graph.n_edges() as f64;
-        let m = Matching::from_pairs(pairs, cost);
+        let m = Matching::from_pairs(pairs, cost).with_stats(stats);
         debug_check_matching("react", graph, &m);
         m
     }
@@ -279,5 +302,29 @@ mod tests {
     #[test]
     fn name() {
         assert_eq!(ReactMatcher::default().name(), "react");
+    }
+
+    #[test]
+    fn stats_account_for_every_cycle() {
+        let g = BipartiteGraph::full(20, 20, |u, v| ((u.0 * 31 + v.0 * 17) % 100) as f64 / 100.0)
+            .unwrap();
+        let matcher = ReactMatcher::with_cycles(500);
+        let m = matcher.assign(&g, &mut rng());
+        assert_eq!(m.stats.cycles, 500);
+        assert_eq!(m.stats.flips_accepted + m.stats.flips_rejected, 500);
+        assert!(m.stats.flips_accepted > 0);
+        assert!(
+            m.stats.conflicts_resolved <= m.stats.flips_accepted,
+            "every resolution is an accepted flip"
+        );
+    }
+
+    #[test]
+    fn stats_do_not_perturb_rng_stream() {
+        let g = BipartiteGraph::full(30, 30, |u, v| ((u.0 ^ v.0) % 7) as f64 / 7.0).unwrap();
+        let matcher = ReactMatcher::default();
+        let via_state = matcher.run_state(&g, &mut SmallRng::seed_from_u64(5));
+        let (via_stats, _) = matcher.run_state_stats(&g, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(via_state.selected_edges(), via_stats.selected_edges());
     }
 }

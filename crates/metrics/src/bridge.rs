@@ -1,0 +1,101 @@
+//! Bridge from the `react-obs` observer interface into a
+//! [`MetricsRegistry`].
+//!
+//! [`MetricsObserver`] lets an experiment attach the same registry that
+//! collects its report counters and figure series as an observability
+//! sink: every typed counter lands under its dotted name
+//! (`matcher.cycles`, `tasks.reassigned`, …), and every span /
+//! histogram observation is appended to a same-named time series whose
+//! x-axis is the observation index — ready for the text-table and CSV
+//! renderers in this crate.
+
+use crate::registry::MetricsRegistry;
+use react_obs::{CounterKind, HistogramKind, Observer, SpanKind};
+
+/// An [`Observer`] sink that forwards everything into a shared
+/// [`MetricsRegistry`].
+///
+/// * counters: `incr(kind, by)` → `registry.incr(kind.name(), by)`;
+/// * spans: each report bumps `"<name>.count"` and appends
+///   `(index, seconds)` to the `"<name>"` series;
+/// * histograms: same shape as spans, with the observed value as y.
+///
+/// Cloning shares the underlying registry (it is `Arc`-backed).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsObserver {
+    registry: MetricsRegistry,
+}
+
+impl MetricsObserver {
+    /// Wraps an existing registry.
+    pub fn new(registry: MetricsRegistry) -> Self {
+        MetricsObserver { registry }
+    }
+
+    /// The bridged registry (shared, not a snapshot).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Bumps `"<name>.count"` and appends `(index, y)` to `"<name>"`.
+    fn record_indexed(&self, name: &str, y: f64) {
+        let counter = format!("{name}.count");
+        self.registry.incr(&counter, 1);
+        let index = self.registry.counter(&counter);
+        self.registry.record(name, index as f64, y);
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn span(&self, kind: SpanKind, seconds: f64) {
+        self.record_indexed(kind.name(), seconds);
+    }
+
+    fn incr(&self, kind: CounterKind, by: u64) {
+        self.registry.incr(kind.name(), by);
+    }
+
+    fn observe(&self, kind: HistogramKind, value: f64) {
+        self.record_indexed(kind.name(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_under_dotted_names() {
+        let obs = MetricsObserver::default();
+        obs.incr(CounterKind::MatcherCycles, 40);
+        obs.incr(CounterKind::MatcherCycles, 2);
+        assert_eq!(obs.registry().counter("matcher.cycles"), 42);
+    }
+
+    #[test]
+    fn spans_become_indexed_series() {
+        let obs = MetricsObserver::default();
+        obs.span(SpanKind::StageMatch, 0.25);
+        obs.span(SpanKind::StageMatch, 0.5);
+        let series = obs.registry().series("tick.match").unwrap();
+        assert_eq!(series.points(), &[(1.0, 0.25), (2.0, 0.5)]);
+        assert_eq!(obs.registry().counter("tick.match.count"), 2);
+    }
+
+    #[test]
+    fn histograms_become_indexed_series() {
+        let obs = MetricsObserver::default();
+        obs.observe(HistogramKind::BatchSize, 7.0);
+        let series = obs.registry().series("batch.size").unwrap();
+        assert_eq!(series.points(), &[(1.0, 7.0)]);
+    }
+
+    #[test]
+    fn shares_the_wrapped_registry() {
+        let registry = MetricsRegistry::new();
+        let obs = MetricsObserver::new(registry.clone());
+        obs.incr(CounterKind::BatchesRun, 3);
+        assert_eq!(registry.counter("batches.run"), 3);
+        assert!(obs.enabled());
+    }
+}

@@ -1,19 +1,23 @@
 //! Measurement substrate for the REACT experiments.
 //!
-//! Deliberately small and dependency-free: counters and gauges for event
-//! counts, append-only time series for the paper's cumulative curves
+//! Deliberately small: counters and gauges for event counts,
+//! append-only time series for the paper's cumulative curves
 //! (Figs. 5–6) and sweep series (Figs. 9–10), a plain-text table renderer
-//! for terminal reports, and a hand-rolled CSV writer for archiving the
-//! regenerated figure data (no `serde` needed — see `DESIGN.md`).
+//! for terminal reports, a hand-rolled CSV writer for archiving the
+//! regenerated figure data (no `serde` needed — see `DESIGN.md`), and a
+//! [`MetricsObserver`] bridge that drains `react-obs` telemetry into the
+//! same [`MetricsRegistry`].
 
 #![warn(missing_docs)]
 
+pub mod bridge;
 pub mod chart;
 pub mod csv;
 pub mod registry;
 pub mod series;
 pub mod table;
 
+pub use bridge::MetricsObserver;
 pub use chart::{ascii_chart, ChartSeries};
 pub use csv::write_csv;
 pub use registry::MetricsRegistry;

@@ -1,0 +1,94 @@
+//! Composition of several sinks behind one handle.
+
+use crate::observer::{CounterKind, HistogramKind, Observer, ObserverHandle, SpanKind};
+
+/// Forwards every event to each wrapped sink.
+///
+/// `enabled()` is true iff any wrapped sink is enabled, so wrapping only
+/// disabled sinks keeps the fanout itself zero-cost. Disabled sinks are
+/// skipped on every event.
+#[derive(Clone, Default)]
+pub struct FanoutObserver {
+    sinks: Vec<ObserverHandle>,
+}
+
+impl FanoutObserver {
+    /// Compose the given sinks.
+    pub fn new(sinks: Vec<ObserverHandle>) -> Self {
+        FanoutObserver { sinks }
+    }
+
+    /// Add one more sink.
+    pub fn push(&mut self, sink: ObserverHandle) {
+        self.sinks.push(sink);
+    }
+}
+
+impl std::fmt::Debug for FanoutObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FanoutObserver({} sinks)", self.sinks.len())
+    }
+}
+
+impl Observer for FanoutObserver {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn span(&self, kind: SpanKind, seconds: f64) {
+        for s in &self.sinks {
+            if s.enabled() {
+                s.span(kind, seconds);
+            }
+        }
+    }
+
+    fn incr(&self, kind: CounterKind, by: u64) {
+        for s in &self.sinks {
+            if s.enabled() {
+                s.incr(kind, by);
+            }
+        }
+    }
+
+    fn observe(&self, kind: HistogramKind, value: f64) {
+        for s in &self.sinks {
+            if s.enabled() {
+                s.observe(kind, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::null_observer;
+    use crate::recording::RecordingObserver;
+    use std::sync::Arc;
+
+    #[test]
+    fn forwards_to_all_enabled_sinks() {
+        let a = RecordingObserver::new();
+        let b = RecordingObserver::new();
+        let fan = FanoutObserver::new(vec![
+            Arc::new(a.clone()),
+            null_observer(),
+            Arc::new(b.clone()),
+        ]);
+        assert!(fan.enabled());
+        fan.incr(CounterKind::TasksAssigned, 7);
+        fan.span(SpanKind::Tick, 0.5);
+        assert_eq!(a.counter(CounterKind::TasksAssigned), 7);
+        assert_eq!(b.counter(CounterKind::TasksAssigned), 7);
+        assert_eq!(b.span_stats(SpanKind::Tick).unwrap().count, 1);
+    }
+
+    #[test]
+    fn all_null_sinks_mean_disabled() {
+        let fan = FanoutObserver::new(vec![null_observer(), null_observer()]);
+        assert!(!fan.enabled());
+        let empty = FanoutObserver::default();
+        assert!(!empty.enabled());
+    }
+}

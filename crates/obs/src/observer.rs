@@ -1,0 +1,235 @@
+//! The [`Observer`] trait, the typed span/counter/histogram vocabularies,
+//! and the zero-cost [`NullObserver`].
+
+use std::sync::Arc;
+
+/// A timed region of the scheduling pipeline.
+///
+/// Span names form a dotted taxonomy: `tick` covers a whole
+/// `ReactServer::tick`, `tick.*` its five stages, `matcher.assign` one
+/// `MatcherEngine` run inside `tick.match`, and `region.run` one region's
+/// full scenario execution under `MultiRegionRunner`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One full `ReactServer::tick` call.
+    Tick,
+    /// Deadline-expiry sweep at the top of a tick.
+    StageExpire,
+    /// Eq.(2) recall scan over running assignments.
+    StageRecall,
+    /// Bipartite graph construction (profile refits + edge pruning).
+    StageBuild,
+    /// Matcher execution over the built graph.
+    StageMatch,
+    /// Commit of the matching: task state flips, cost-model charging.
+    StageCommit,
+    /// One `MatcherEngine::assign` run (nested inside [`SpanKind::StageMatch`]).
+    MatcherAssign,
+    /// One region's scenario execution inside `MultiRegionRunner`.
+    RegionRun,
+}
+
+impl SpanKind {
+    /// Stable dotted name used by sinks (JSON lines, metrics bridge).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Tick => "tick",
+            SpanKind::StageExpire => "tick.expire",
+            SpanKind::StageRecall => "tick.recall",
+            SpanKind::StageBuild => "tick.build",
+            SpanKind::StageMatch => "tick.match",
+            SpanKind::StageCommit => "tick.commit",
+            SpanKind::MatcherAssign => "matcher.assign",
+            SpanKind::RegionRun => "region.run",
+        }
+    }
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CounterKind {
+    /// Tasks dropped because their deadline passed unassigned.
+    TasksExpired,
+    /// Dynamic reassignments triggered by the Eq.(2) recall model.
+    Reassignments,
+    /// Task→worker assignments committed.
+    TasksAssigned,
+    /// Matching batches executed (a tick may skip the batch stages).
+    BatchesRun,
+    /// Local-search cycles executed by the matcher.
+    MatcherCycles,
+    /// Edge flips accepted during matcher cycles.
+    FlipsAccepted,
+    /// Edge flips rejected during matcher cycles.
+    FlipsRejected,
+    /// Conflicts resolved by the REACT upgrade rule (new edge displaced
+    /// strictly-worse incumbents).
+    ConflictsResolved,
+    /// Matcher instances (re)built after a spec or budget change.
+    MatcherRebuilds,
+    /// Worker latency profiles refit during graph build.
+    ProfileRefits,
+    /// Regions executed by `MultiRegionRunner`.
+    RegionsRun,
+    /// Tasks completed by workers.
+    TasksCompleted,
+    /// Completed tasks that met their deadline.
+    DeadlinesMet,
+    /// Positive-feedback profile updates recorded on completion.
+    PositiveFeedback,
+}
+
+impl CounterKind {
+    /// Stable dotted name used by sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::TasksExpired => "tasks.expired",
+            CounterKind::Reassignments => "tasks.reassigned",
+            CounterKind::TasksAssigned => "tasks.assigned",
+            CounterKind::BatchesRun => "batches.run",
+            CounterKind::MatcherCycles => "matcher.cycles",
+            CounterKind::FlipsAccepted => "matcher.flips_accepted",
+            CounterKind::FlipsRejected => "matcher.flips_rejected",
+            CounterKind::ConflictsResolved => "matcher.conflicts_resolved",
+            CounterKind::MatcherRebuilds => "matcher.rebuilds",
+            CounterKind::ProfileRefits => "profile.refits",
+            CounterKind::RegionsRun => "regions.run",
+            CounterKind::TasksCompleted => "tasks.completed",
+            CounterKind::DeadlinesMet => "deadlines.met",
+            CounterKind::PositiveFeedback => "feedback.positive",
+        }
+    }
+}
+
+/// A distribution of observed values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HistogramKind {
+    /// Modelled matching latency charged per batch, in seconds.
+    MatchingSeconds,
+    /// Task execution time reported on completion, in seconds.
+    ExecSeconds,
+    /// Number of unassigned tasks entering a matching batch.
+    BatchSize,
+}
+
+impl HistogramKind {
+    /// Stable dotted name used by sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramKind::MatchingSeconds => "matching.seconds",
+            HistogramKind::ExecSeconds => "exec.seconds",
+            HistogramKind::BatchSize => "batch.size",
+        }
+    }
+}
+
+/// Sink for structured telemetry emitted by the scheduling pipeline.
+///
+/// Implementations must be cheap and must never feed information back
+/// into scheduling decisions; the pipeline only ever *writes* through
+/// this trait. All methods take `&self` — sinks handle their own
+/// synchronisation (observers are shared across scoped threads by the
+/// parallel multi-region runner). `Debug` is a supertrait so structs
+/// holding an [`ObserverHandle`] can keep `#[derive(Debug)]`.
+pub trait Observer: Send + Sync + std::fmt::Debug {
+    /// Whether this sink wants events at all.
+    ///
+    /// Hot paths may consult this once per event batch and skip
+    /// formatting/aggregation work when it returns `false`. Timing
+    /// itself is *not* gated on it: stage durations are measured
+    /// unconditionally because `TickOutcome` reports them regardless.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record a completed span of `seconds` duration.
+    fn span(&self, kind: SpanKind, seconds: f64);
+
+    /// Add `by` to a counter.
+    fn incr(&self, kind: CounterKind, by: u64);
+
+    /// Record one value into a histogram.
+    fn observe(&self, kind: HistogramKind, value: f64);
+}
+
+/// Shared, thread-safe handle to an observer sink.
+pub type ObserverHandle = Arc<dyn Observer>;
+
+/// The do-nothing sink: `enabled()` is `false` and every event is
+/// discarded. This is the default observer everywhere; runs under it are
+/// bit-identical to runs with no observability compiled in at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span(&self, _kind: SpanKind, _seconds: f64) {}
+
+    fn incr(&self, _kind: CounterKind, _by: u64) {}
+
+    fn observe(&self, _kind: HistogramKind, _value: f64) {}
+}
+
+/// Convenience constructor for the default [`NullObserver`] handle.
+pub fn null_observer() -> ObserverHandle {
+    Arc::new(NullObserver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let obs = null_observer();
+        assert!(!obs.enabled());
+        obs.span(SpanKind::Tick, 1.0);
+        obs.incr(CounterKind::TasksAssigned, 3);
+        obs.observe(HistogramKind::MatchingSeconds, 0.5);
+    }
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let spans = [
+            SpanKind::Tick,
+            SpanKind::StageExpire,
+            SpanKind::StageRecall,
+            SpanKind::StageBuild,
+            SpanKind::StageMatch,
+            SpanKind::StageCommit,
+            SpanKind::MatcherAssign,
+            SpanKind::RegionRun,
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for s in spans {
+            assert!(seen.insert(s.name()), "duplicate span name {}", s.name());
+        }
+        let counters = [
+            CounterKind::TasksExpired,
+            CounterKind::Reassignments,
+            CounterKind::TasksAssigned,
+            CounterKind::BatchesRun,
+            CounterKind::MatcherCycles,
+            CounterKind::FlipsAccepted,
+            CounterKind::FlipsRejected,
+            CounterKind::ConflictsResolved,
+            CounterKind::MatcherRebuilds,
+            CounterKind::ProfileRefits,
+            CounterKind::RegionsRun,
+            CounterKind::TasksCompleted,
+            CounterKind::DeadlinesMet,
+            CounterKind::PositiveFeedback,
+        ];
+        for c in counters {
+            assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
+            assert!(
+                c.name().contains('.'),
+                "counter name not dotted: {}",
+                c.name()
+            );
+        }
+    }
+}

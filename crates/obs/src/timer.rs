@@ -1,0 +1,80 @@
+//! Monotonic span timing.
+//!
+//! `react-obs` sits below `react-core` in the dependency graph, so it
+//! cannot reuse `react-runtime::clock` (which depends on core). This
+//! module is therefore the second — and last — sanctioned home of raw
+//! monotonic clock reads in the workspace; the `react-analyze`
+//! `no-wall-clock` lint rejects `Instant::now()` everywhere else.
+//!
+//! Durations measured here describe *how long work took*; they are
+//! never used as scheduling inputs, so they cannot break determinism.
+
+use std::time::Instant;
+
+use crate::observer::{Observer, SpanKind};
+
+/// Measures one span against the process monotonic clock.
+///
+/// The timer always measures — callers like `ReactServer::tick` need
+/// the stage duration for `StageTimings` whether or not any sink is
+/// listening — and only *reports* to the observer when it is enabled.
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        SpanTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed so far, without consuming the timer.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stop the timer, report the span to `obs` if it is enabled, and
+    /// return the measured duration in seconds.
+    pub fn finish(self, obs: &dyn Observer, kind: SpanKind) -> f64 {
+        let seconds = self.start.elapsed().as_secs_f64();
+        if obs.enabled() {
+            obs.span(kind, seconds);
+        }
+        seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recording::RecordingObserver;
+    use crate::NullObserver;
+
+    #[test]
+    fn finish_returns_nonnegative_seconds() {
+        let t = SpanTimer::start();
+        let secs = t.finish(&NullObserver, SpanKind::Tick);
+        assert!(secs >= 0.0 && secs.is_finite());
+    }
+
+    #[test]
+    fn finish_reports_to_enabled_observer() {
+        let rec = RecordingObserver::new();
+        let t = SpanTimer::start();
+        let secs = t.finish(&rec, SpanKind::StageBuild);
+        let stats = rec.span_stats(SpanKind::StageBuild).expect("span recorded");
+        assert_eq!(stats.count, 1);
+        assert!((stats.total_seconds - secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t = SpanTimer::start();
+        let a = t.elapsed_secs();
+        let b = t.elapsed_secs();
+        assert!(b >= a);
+    }
+}

@@ -8,6 +8,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use react_core::{Config, ReactServer, Task, TaskId, WorkerId};
 use react_crowd::{generate_population, BehaviorParams, TaskGenerator, WorkerBehavior};
 use react_geo::BoundingBox;
+use react_obs::{null_observer, ObserverHandle};
 use react_sim::RngStreams;
 use std::collections::HashMap;
 use std::thread;
@@ -77,12 +78,24 @@ pub struct LiveReport {
 /// Orchestrates one live run.
 pub struct LiveRuntime {
     config: LiveConfig,
+    observer: ObserverHandle,
 }
 
 impl LiveRuntime {
     /// Creates a runtime for the given configuration.
     pub fn new(config: LiveConfig) -> Self {
-        LiveRuntime { config }
+        LiveRuntime {
+            config,
+            observer: null_observer(),
+        }
+    }
+
+    /// Attaches an observability sink; the scheduler-side server
+    /// reports its stage spans, matcher counters and latency
+    /// histograms to it. Write-only: scheduling is unaffected.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
     }
 
     /// Runs the full scenario to completion and returns the report.
@@ -92,6 +105,7 @@ impl LiveRuntime {
     /// returning.
     pub fn run(self) -> LiveReport {
         let lc = self.config;
+        let observer = self.observer;
         let clock = ScaledClock::start(lc.time_scale);
         let streams = RngStreams::new(lc.seed);
         let mut pop_rng = streams.stream("population");
@@ -101,7 +115,11 @@ impl LiveRuntime {
             generate_population(lc.n_workers, &lc.behavior, &mut pop_rng);
 
         // Scheduler-side server.
-        let mut server = ReactServer::new(lc.config.clone(), lc.seed ^ 0xbeef);
+        let mut server = ReactServer::builder(lc.config.clone())
+            .seed(lc.seed ^ 0xbeef)
+            .observer(observer)
+            .build()
+            .expect("live config carries a valid middleware config");
         let (done_tx, done_rx) = unbounded::<Completion>();
         let mut mailboxes: Vec<Sender<WorkerCommand>> = Vec::with_capacity(lc.n_workers);
         let mut hosts = Vec::with_capacity(lc.n_workers);

@@ -9,11 +9,8 @@
 //! cargo run --example checkpoint_restore
 //! ```
 
-use react::core::{
-    export_profiles, import_profiles, BatchTrigger, Config, ReactServer, Task, TaskCategory,
-    TaskId, WorkerId,
-};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
+use react::core::{export_profiles, import_profiles};
 use react::matching::CostModel;
 use react::prob::EstimatorConfig;
 
@@ -24,7 +21,11 @@ fn main() {
         min_unassigned: 1,
         period: None,
     };
-    let mut server = ReactServer::new(config, 11).with_cost_model(CostModel::free());
+    let mut server = ServerBuilder::new(config)
+        .seed(11)
+        .cost_model(CostModel::free())
+        .build()
+        .expect("paper defaults are valid");
 
     // A short working session: two workers, six tasks each.
     for w in 1..=2u64 {

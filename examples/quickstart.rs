@@ -8,8 +8,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use react::core::{BatchTrigger, Config, ReactServer, Task, TaskCategory, TaskId, WorkerId};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
 
 fn main() {
     // Paper defaults, but batch eagerly (the demo has only a few tasks)
@@ -20,7 +19,10 @@ fn main() {
         period: None,
     };
     config.charge_matching_time = false;
-    let mut server = ReactServer::new(config, 42);
+    let mut server = ServerBuilder::new(config)
+        .seed(42)
+        .build()
+        .expect("paper defaults are valid");
 
     // A small crowd around Athens.
     let spots = [

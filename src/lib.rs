@@ -18,18 +18,19 @@
 //! * [`sim`] — the discrete-event kernel;
 //! * [`geo`] — regions, routing and distances;
 //! * [`runtime`] — the live threaded deployment;
-//! * [`metrics`] — counters, series, tables, CSV.
+//! * [`metrics`] — counters, series, tables, CSV;
+//! * [`obs`] — structured observability: spans, counters, histograms
+//!   and the sinks that record or export them.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use react::core::{BatchTrigger, Config, ReactServer, Task, TaskCategory, TaskId, WorkerId};
-//! use react::geo::GeoPoint;
+//! use react::core::prelude::*;
 //!
 //! let mut config = Config::paper_defaults();
 //! config.batch = BatchTrigger { min_unassigned: 1, period: None };
 //! config.charge_matching_time = false;
-//! let mut server = ReactServer::new(config, 42);
+//! let mut server = ServerBuilder::new(config).seed(42).build().unwrap();
 //!
 //! let athens = GeoPoint::new(37.98, 23.72);
 //! server.register_worker(WorkerId(1), athens);
@@ -49,6 +50,7 @@ pub use react_crowd as crowd;
 pub use react_geo as geo;
 pub use react_matching as matching;
 pub use react_metrics as metrics;
+pub use react_obs as obs;
 pub use react_prob as prob;
 pub use react_runtime as runtime;
 pub use react_sim as sim;

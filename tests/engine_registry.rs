@@ -5,10 +5,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use react::core::{
-    BatchTrigger, Config, MatcherPolicy, ReactServer, Task, TaskCategory, TaskId, WorkerId,
-};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
 use react::matching::{BipartiteGraph, MatchContext, MatcherEngine, MatcherRegistry};
 
 fn all_policies() -> Vec<MatcherPolicy> {
@@ -73,7 +70,10 @@ fn server_caches_matcher_across_batches() {
         period: None,
     };
     config.charge_matching_time = false;
-    let mut server = ReactServer::new(config, 11);
+    let mut server = ServerBuilder::new(config)
+        .seed(11)
+        .build()
+        .expect("valid config");
     let athens = GeoPoint::new(37.98, 23.72);
     for w in 0..4 {
         server.register_worker(WorkerId(w), athens);

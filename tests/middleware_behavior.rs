@@ -1,11 +1,8 @@
 //! Cross-crate integration: middleware behaviour under adversarial
 //! sequences (worker churn, stalls, duplicate traffic, expiry storms).
 
-use react::core::{
-    Availability, BatchTrigger, Config, MatcherPolicy, ReactServer, Task, TaskCategory, TaskId,
-    WorkerId,
-};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
+use react::core::Availability;
 use react::matching::CostModel;
 
 fn here() -> GeoPoint {
@@ -22,7 +19,11 @@ fn eager_server(seed: u64) -> ReactServer {
         min_unassigned: 1,
         period: None,
     };
-    ReactServer::new(config, seed).with_cost_model(CostModel::free())
+    ServerBuilder::new(config)
+        .seed(seed)
+        .cost_model(CostModel::free())
+        .build()
+        .expect("valid config")
 }
 
 /// Builds a fast (≈ 2 s) profile so the Eq. (2) model is armed.
@@ -152,7 +153,10 @@ fn traditional_assigns_to_busy_workers() {
         period: None,
     };
     config.charge_matching_time = false;
-    let mut server = ReactServer::new(config, 5);
+    let mut server = ServerBuilder::new(config)
+        .seed(5)
+        .build()
+        .expect("valid config");
     server.register_worker(WorkerId(1), here());
     // Two tasks, one worker: the AMT-style system assigns both anyway
     // (the second queues behind the first at the worker).
@@ -221,7 +225,10 @@ fn hungarian_policy_runs_end_to_end() {
         period: None,
     };
     config.charge_matching_time = false;
-    let mut server = ReactServer::new(config, 8);
+    let mut server = ServerBuilder::new(config)
+        .seed(8)
+        .build()
+        .expect("valid config");
     for w in 0..4 {
         server.register_worker(WorkerId(w), here());
     }

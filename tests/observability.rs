@@ -1,0 +1,125 @@
+//! Observability integration: attaching any observer sink must never
+//! perturb a simulation (write-only telemetry, bit-identical schedules)
+//! while a recording sink must capture the full span/counter catalog of
+//! a real end-to-end run.
+
+use react::core::prelude::*;
+use react::crowd::{Scenario, ScenarioRunner};
+use react::obs::{CounterKind, HistogramKind, JsonLinesObserver, RecordingObserver, SpanKind};
+use std::sync::Arc;
+
+fn run_with(seed: u64, observer: Option<ObserverHandle>) -> react::crowd::RunReport {
+    let scenario = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, seed);
+    let mut runner = ScenarioRunner::new(scenario);
+    if let Some(observer) = observer {
+        runner = runner.with_observer(observer);
+    }
+    runner.run()
+}
+
+fn assert_reports_bit_identical(a: &react::crowd::RunReport, b: &react::crowd::RunReport) {
+    assert_eq!(a.received, b.received);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.met_deadline, b.met_deadline);
+    assert_eq!(a.positive_feedback, b.positive_feedback);
+    assert_eq!(a.reassignments, b.reassignments);
+    assert_eq!(a.expired_unassigned, b.expired_unassigned);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(
+        a.total_matching_seconds.to_bits(),
+        b.total_matching_seconds.to_bits()
+    );
+    assert_eq!(a.exec_times.len(), b.exec_times.len());
+    for (x, y) in a.exec_times.iter().zip(&b.exec_times) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    for (x, y) in a.total_times.iter().zip(&b.total_times) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn observers_never_perturb_schedules_across_seeds() {
+    for seed in [3u64, 17, 41] {
+        let baseline = run_with(seed, None);
+        let recording = RecordingObserver::new();
+        let observed = run_with(seed, Some(Arc::new(recording)));
+        assert_reports_bit_identical(&baseline, &observed);
+    }
+}
+
+#[test]
+fn recording_observer_captures_the_full_catalog() {
+    let recording = RecordingObserver::new();
+    let report = run_with(7, Some(Arc::new(recording.clone())));
+
+    // Every tick stage produced spans with monotonic durations.
+    for kind in [
+        SpanKind::Tick,
+        SpanKind::StageExpire,
+        SpanKind::StageRecall,
+        SpanKind::StageBuild,
+        SpanKind::StageMatch,
+        SpanKind::StageCommit,
+    ] {
+        let stats = recording
+            .span_stats(kind)
+            .unwrap_or_else(|| panic!("missing span {}", kind.name()));
+        assert!(stats.count > 0, "{} never fired", kind.name());
+        assert!(stats.total_seconds >= 0.0);
+        assert!(stats.max_seconds >= stats.min_seconds);
+    }
+
+    // Matcher cycle/flip accounting flowed through the engine.
+    let cycles = recording.counter(CounterKind::MatcherCycles);
+    let accepted = recording.counter(CounterKind::FlipsAccepted);
+    let rejected = recording.counter(CounterKind::FlipsRejected);
+    assert!(cycles > 0, "matcher ran no cycles");
+    assert_eq!(
+        accepted + rejected,
+        cycles,
+        "every REACT cycle is an accepted or rejected flip"
+    );
+
+    // Counters reconcile with the run report.
+    assert_eq!(
+        recording.counter(CounterKind::Reassignments),
+        report.reassignments,
+        "dynamic-reassignment decisions must be counted"
+    );
+    assert_eq!(recording.counter(CounterKind::BatchesRun), report.batches);
+    assert_eq!(
+        recording.counter(CounterKind::TasksCompleted),
+        report.completed
+    );
+    assert_eq!(
+        recording.counter(CounterKind::DeadlinesMet),
+        report.met_deadline
+    );
+
+    // Latency histograms observed every completion.
+    let exec = recording
+        .histogram(HistogramKind::ExecSeconds)
+        .expect("exec.seconds histogram");
+    assert_eq!(exec.count(), report.completed);
+}
+
+#[test]
+fn json_lines_exporter_streams_well_formed_events() {
+    let (json, buffer) = JsonLinesObserver::shared_buffer();
+    let _ = run_with(5, Some(Arc::new(json)));
+    let bytes = buffer.lock().clone();
+    let text = String::from_utf8(bytes).expect("exporter writes UTF-8");
+    assert!(!text.is_empty());
+    let mut saw_span = false;
+    let mut saw_counter = false;
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        saw_span |= line.contains("\"event\":\"span\"");
+        saw_counter |= line.contains("\"event\":\"counter\"");
+    }
+    assert!(saw_span, "no span events exported");
+    assert!(saw_counter, "no counter events exported");
+    assert!(text.contains("\"name\":\"tick.match\""));
+    assert!(text.contains("\"name\":\"matcher.cycles\""));
+}

@@ -3,11 +3,8 @@
 //! Component, restores it into a fresh server and verifies behaviour
 //! carries over.
 
-use react::core::{
-    export_profiles, import_profiles, BatchTrigger, Config, ReactServer, Task, TaskCategory,
-    TaskId, WorkerId,
-};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
+use react::core::{export_profiles, import_profiles};
 use react::matching::CostModel;
 use react::prob::EstimatorConfig;
 
@@ -31,7 +28,11 @@ fn eager_config() -> Config {
 /// Runs a warm-up session: two workers complete enough tasks to build
 /// profiles (fast worker 1, slow worker 2).
 fn warmed_up_server() -> ReactServer {
-    let mut server = ReactServer::new(eager_config(), 1).with_cost_model(CostModel::free());
+    let mut server = ServerBuilder::new(eager_config())
+        .seed(1)
+        .cost_model(CostModel::free())
+        .build()
+        .expect("valid config");
     server.register_worker(WorkerId(1), here());
     let mut now = 0.0;
     // Worker 1: 4 fast completions with positive feedback.
@@ -91,7 +92,11 @@ fn restored_server_still_recalls_stalls() {
     // Exercise the end-to-end path: a fresh server whose workers replay
     // the checkpointed execution history through the normal completion
     // API (the component-level exact restore is covered above).
-    let mut server = ReactServer::new(eager_config(), 2).with_cost_model(CostModel::free());
+    let mut server = ServerBuilder::new(eager_config())
+        .seed(2)
+        .cost_model(CostModel::free())
+        .build()
+        .expect("valid config");
     for p in profiling.iter() {
         server.register_worker(p.id(), p.location());
     }

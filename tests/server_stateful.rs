@@ -10,10 +10,7 @@
 //! * operations on unknown ids fail without corrupting state.
 
 use proptest::prelude::*;
-use react::core::{
-    BatchTrigger, Config, ReactServer, Task, TaskCategory, TaskId, TaskState, WorkerId,
-};
-use react::geo::GeoPoint;
+use react::core::prelude::*;
 use react::matching::CostModel;
 use std::collections::{HashMap, HashSet};
 
@@ -48,7 +45,11 @@ proptest! {
         let mut config = Config::paper_defaults();
         config.batch = BatchTrigger { min_unassigned: 1, period: None };
         config.audit = true;
-        let mut server = ReactServer::new(config, 99).with_cost_model(CostModel::free());
+        let mut server = ServerBuilder::new(config)
+            .seed(99)
+            .cost_model(CostModel::free())
+            .build()
+            .expect("valid config");
 
         let mut now = 0.0f64;
         let mut submitted: HashSet<TaskId> = HashSet::new();
