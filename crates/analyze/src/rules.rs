@@ -42,16 +42,34 @@ pub enum Rule {
     /// in the owning crate's `Cargo.toml`; an undeclared feature gate is
     /// dead code that silently never compiles.
     FeatureGateHygiene,
+    /// No raw wall-clock sleeps in test code: `thread::sleep` in a test
+    /// couples the suite to real time, which makes it slow at best and
+    /// flaky under CI load at worst. Waiting must go through the
+    /// `ScaledClock` conversion (`clock.to_wall(...)`) or stay in
+    /// simulated time entirely. The inverse of the other rules: it fires
+    /// *only* inside test code (`tests/` trees, `benches/`,
+    /// `#[cfg(test)]` regions).
+    NoSleepInTests,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::NoWallClock,
     Rule::NoAmbientRng,
     Rule::NoPanicInLib,
     Rule::NoFloatEq,
     Rule::FeatureGateHygiene,
+    Rule::NoSleepInTests,
 ];
+
+/// Whether `path` (workspace-relative, forward slashes) is a test-only
+/// tree: integration tests, benches, or demo code.
+fn in_test_tree(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/")
+}
 
 impl Rule {
     /// The rule's stable name — used in baseline sections and allow
@@ -63,6 +81,7 @@ impl Rule {
             Rule::NoPanicInLib => "no-panic-in-lib",
             Rule::NoFloatEq => "no-float-eq",
             Rule::FeatureGateHygiene => "feature-gate-hygiene",
+            Rule::NoSleepInTests => "no-sleep-in-tests",
         }
     }
 
@@ -76,12 +95,8 @@ impl Rule {
     /// (`examples/`) are exempt from everything except feature-gate
     /// hygiene, which is checked by the workspace walker separately.
     pub fn applies_to(&self, path: &str) -> bool {
-        if path.contains("/tests/")
-            || path.starts_with("tests/")
-            || path.contains("/benches/")
-            || path.starts_with("examples/")
-        {
-            return *self == Rule::FeatureGateHygiene;
+        if in_test_tree(path) {
+            return matches!(self, Rule::FeatureGateHygiene | Rule::NoSleepInTests);
         }
         match self {
             Rule::NoWallClock => {
@@ -95,12 +110,20 @@ impl Rule {
             }
             Rule::NoFloatEq => true,
             Rule::FeatureGateHygiene => true,
+            // `#[cfg(test)]` modules live inside crate sources too.
+            Rule::NoSleepInTests => true,
         }
     }
 
     /// Whether violations inside `#[cfg(test)]` regions count.
     pub fn applies_to_test_code(&self) -> bool {
-        matches!(self, Rule::FeatureGateHygiene)
+        matches!(self, Rule::FeatureGateHygiene | Rule::NoSleepInTests)
+    }
+
+    /// Whether the rule fires *only* inside test code (test trees and
+    /// `#[cfg(test)]` regions) — the inverse scope of every other rule.
+    pub fn test_only(&self) -> bool {
+        matches!(self, Rule::NoSleepInTests)
     }
 }
 
@@ -216,17 +239,23 @@ impl ScannedFile {
     /// [`ScannedFile::check_feature_gates`].)
     pub fn check_token_rules(&self) -> Vec<Violation> {
         let mut out = Vec::new();
+        let test_tree = in_test_tree(&self.path);
         for rule in [
             Rule::NoWallClock,
             Rule::NoAmbientRng,
             Rule::NoPanicInLib,
             Rule::NoFloatEq,
+            Rule::NoSleepInTests,
         ] {
             if !rule.applies_to(&self.path) {
                 continue;
             }
             for (i, line) in self.lines.iter().enumerate() {
-                if line.in_test && !rule.applies_to_test_code() {
+                let in_test = line.in_test || test_tree;
+                if in_test && !rule.applies_to_test_code() {
+                    continue;
+                }
+                if rule.test_only() && !in_test {
                     continue;
                 }
                 if !line_matches(rule, &line.code) || self.allowed(i, rule) {
@@ -294,6 +323,11 @@ fn line_matches(rule: Rule, code: &str) -> bool {
         }
         Rule::NoFloatEq => has_float_literal_eq(code),
         Rule::FeatureGateHygiene => false, // handled by check_feature_gates
+        Rule::NoSleepInTests => {
+            // `clock.to_wall(...)` is the sanctioned ScaledClock
+            // conversion; a sleep through it scales with the test clock.
+            code.contains("thread::sleep") && !code.contains("to_wall(")
+        }
     }
 }
 
@@ -806,6 +840,30 @@ fn f() {
         assert!(file
             .check_feature_gates(&["parallel".to_string(), "tubro".to_string()])
             .is_empty());
+    }
+
+    #[test]
+    fn raw_sleeps_flagged_in_test_code_only() {
+        let sleep = "fn f() { std::thread::sleep(Duration::from_millis(20)); }\n";
+        // Test trees: flagged.
+        let v = scan("tests/fault_recovery.rs", sleep);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoSleepInTests);
+        // `#[cfg(test)]` regions inside crate sources: flagged too.
+        let src = format!("fn f() {{}}\n#[cfg(test)]\nmod tests {{\n    {sleep}}}\n");
+        let v = scan("crates/runtime/src/worker_host.rs", &src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoSleepInTests);
+        // Non-test code is out of scope (the runtime's own clock-driven
+        // sleep is legal — and goes through `to_wall` anyway).
+        assert!(scan("crates/runtime/src/runtime.rs", sleep).is_empty());
+        // The sanctioned ScaledClock conversion is exempt everywhere.
+        let scaled = "fn f() { thread::sleep(clock.to_wall(wait)); }\n";
+        assert!(scan("tests/end_to_end.rs", scaled).is_empty());
+        // Allow markers still work.
+        let allowed =
+            "fn f() { std::thread::sleep(d); } // analyze: allow(no-sleep-in-tests) why\n";
+        assert!(scan("tests/end_to_end.rs", allowed).is_empty());
     }
 
     #[test]

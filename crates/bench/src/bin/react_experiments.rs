@@ -10,6 +10,7 @@
 //!   regions         serial vs parallel region execution / graph build
 //!   case            CrowdFlower case-study statistics
 //!   ablation        all design-choice ablations
+//!   chaos           fault-injection sweep (deadline misses + recovery latency)
 //!   all             everything above (default)
 //!
 //! OPTIONS
@@ -24,7 +25,9 @@
 //! Run with `--release`; the full suite at paper scale takes a few
 //! minutes, `--quick` a few seconds.
 
-use react_bench::{ablation, casestudy, endtoend, fig34, regions, report::OutputSink, sweep};
+use react_bench::{
+    ablation, casestudy, chaos, endtoend, fig34, regions, report::OutputSink, sweep,
+};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -73,7 +76,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: react-experiments \
-[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|case|ablation|all] \
+[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|case|ablation|chaos|all] \
 [--quick] [--seed N] [--out DIR] [--no-csv] [--observe]";
 
 fn run_fig34(cli: &Cli) {
@@ -127,6 +130,16 @@ fn run_regions(cli: &Cli) {
     }
 }
 
+fn run_chaos(cli: &Cli) {
+    let mut params = if cli.quick {
+        chaos::ChaosParams::quick()
+    } else {
+        chaos::ChaosParams::default()
+    };
+    params.seed = cli.seed;
+    println!("{}", chaos::report(&chaos::run(&params), &cli.sink));
+}
+
 fn run_case(cli: &Cli) {
     let n = if cli.quick { 5_000 } else { 50_000 };
     println!(
@@ -173,6 +186,7 @@ fn main() -> ExitCode {
         "regions" => run_regions(&cli),
         "case" => run_case(&cli),
         "ablation" => run_ablation(&cli),
+        "chaos" => run_chaos(&cli),
         "all" => {
             run_fig34(&cli);
             run_endtoend(&cli);
@@ -180,6 +194,7 @@ fn main() -> ExitCode {
             run_regions(&cli);
             run_case(&cli);
             run_ablation(&cli);
+            run_chaos(&cli);
         }
         other => {
             eprintln!("unknown command '{other}'\n{USAGE}");

@@ -14,11 +14,13 @@
 //! | [`regions`] | serial-vs-parallel region execution and graph build |
 //! | [`casestudy`] | the Sec. V-C CrowdFlower case-study statistics |
 //! | [`ablation`] | the design-choice ablations listed in `DESIGN.md` |
+//! | [`chaos`] | fault-injection sweep (no paper counterpart: REACT vs baselines under worker dropout, stragglers, message loss) |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod casestudy;
+pub mod chaos;
 pub mod endtoend;
 pub mod fig34;
 pub mod regions;

@@ -132,6 +132,81 @@ impl BatchTrigger {
     }
 }
 
+/// Failure-aware recovery knobs: the per-assignment timeout ladder,
+/// worker suspicion, and graceful degradation under pool collapse.
+///
+/// The ladder is orthogonal to the Eq. (2) model: Eq. (2) predicts a
+/// miss from a *healthy* worker's latency profile, while the ladder
+/// catches workers that stopped responding entirely (silent abandonment,
+/// message loss) — cases no latency model can see. The `attempt`-th
+/// assignment of a task is given
+/// `min(progress_timeout · backoff_factor^attempt, max_timeout)` seconds
+/// to show progress before it is recalled and requeued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Base progress deadline (seconds) for a task's first assignment.
+    /// `None` disables the whole ladder (the paper's baseline behaviour).
+    pub progress_timeout: Option<f64>,
+    /// Multiplier applied to the progress deadline per reassignment
+    /// (capped backoff; must be ≥ 1).
+    pub backoff_factor: f64,
+    /// Upper bound on the laddered timeout (seconds).
+    pub max_timeout: f64,
+    /// Progress timeouts (without an intervening completion) before a
+    /// worker is marked suspect; 0 never suspects.
+    pub suspect_after: u32,
+    /// Multiplicative decay applied to a suspect worker's profile
+    /// weight, in `(0, 1]` (1.0 = no decay).
+    pub suspect_decay: f64,
+    /// When fewer than this many workers are online, shed queued tasks
+    /// (lowest reward first) beyond `shed_queue_cap`; 0 never sheds.
+    pub pool_floor: usize,
+    /// Maximum queued tasks kept while the pool is below the floor.
+    pub shed_queue_cap: usize,
+}
+
+impl RecoveryConfig {
+    /// Recovery fully disabled — the paper's baseline behaviour.
+    pub fn disabled() -> Self {
+        RecoveryConfig {
+            progress_timeout: None,
+            backoff_factor: 2.0,
+            max_timeout: 600.0,
+            suspect_after: 3,
+            suspect_decay: 0.8,
+            pool_floor: 0,
+            shed_queue_cap: 0,
+        }
+    }
+
+    /// A sensible enabled ladder for chaos runs: recall after
+    /// `base_timeout` seconds without progress, double the allowance per
+    /// retry up to 4× base, suspect a worker after 3 strikes and decay
+    /// its weight by 20 % per strike beyond that.
+    pub fn aggressive(base_timeout: f64) -> Self {
+        RecoveryConfig {
+            progress_timeout: Some(base_timeout),
+            backoff_factor: 2.0,
+            max_timeout: base_timeout * 4.0,
+            suspect_after: 3,
+            suspect_decay: 0.8,
+            pool_floor: 0,
+            shed_queue_cap: 0,
+        }
+    }
+
+    /// Whether the timeout ladder is active.
+    pub fn ladder_enabled(&self) -> bool {
+        self.progress_timeout.is_some()
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Full middleware configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Config {
@@ -158,6 +233,10 @@ pub struct Config {
     pub audit: bool,
     /// Latency distribution used by Eq. (2)/(3) (paper: the power law).
     pub latency_model: LatencyModelKind,
+    /// Failure-aware recovery (timeout ladder, suspicion, shedding).
+    /// Disabled by default — the paper's evaluation assumes workers
+    /// always eventually respond.
+    pub recovery: RecoveryConfig,
 }
 
 impl Config {
@@ -178,6 +257,7 @@ impl Config {
             charge_matching_time: true,
             audit: false,
             latency_model: LatencyModelKind::PowerLaw,
+            recovery: RecoveryConfig::disabled(),
         }
     }
 
@@ -237,6 +317,21 @@ impl Config {
             if !ks_threshold.is_finite() || ks_threshold <= 0.0 {
                 return fail("latency_model Auto ks_threshold must be finite and positive");
             }
+        }
+        let r = &self.recovery;
+        if let Some(t) = r.progress_timeout {
+            if !t.is_finite() || t <= 0.0 {
+                return fail("recovery.progress_timeout must be finite and positive");
+            }
+            if !r.max_timeout.is_finite() || r.max_timeout < t {
+                return fail("recovery.max_timeout must be finite and at least progress_timeout");
+            }
+        }
+        if !r.backoff_factor.is_finite() || r.backoff_factor < 1.0 {
+            return fail("recovery.backoff_factor must be finite and at least 1");
+        }
+        if !r.suspect_decay.is_finite() || r.suspect_decay <= 0.0 || r.suspect_decay > 1.0 {
+            return fail("recovery.suspect_decay must be in (0, 1]");
         }
         Ok(())
     }
@@ -316,6 +411,37 @@ mod tests {
         let mut c = Config::paper_defaults();
         c.latency_model = LatencyModelKind::Auto { ks_threshold: 0.0 };
         assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.recovery.progress_timeout = Some(-5.0);
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.recovery = RecoveryConfig::aggressive(30.0);
+        c.recovery.max_timeout = 10.0; // below the base timeout
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.recovery.backoff_factor = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = Config::paper_defaults();
+        c.recovery.suspect_decay = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_defaults_off_and_presets_valid() {
+        let r = RecoveryConfig::default();
+        assert!(!r.ladder_enabled(), "recovery must default off");
+        assert_eq!(
+            Config::paper_defaults().recovery,
+            RecoveryConfig::disabled()
+        );
+        let mut c = Config::paper_defaults();
+        c.recovery = RecoveryConfig::aggressive(30.0);
+        assert!(c.recovery.ladder_enabled());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! asserts that each task's event sequence matches the legal lifecycle
 //!
 //! ```text
-//! Submitted (Assigned (Recalled)?)* (Completed | Expired)?
+//! Submitted (Assigned (Recalled)?)* (Completed | Expired | Shed)?
 //! ```
 //!
 //! with timestamps non-decreasing and the completing worker equal to the
@@ -42,6 +42,10 @@ pub enum TaskEventKind {
     },
     /// The deadline passed while the task sat unassigned.
     Expired,
+    /// The server shed the task (graceful degradation: queued task
+    /// dropped, lowest value first, because the live worker pool fell
+    /// below the configured floor).
+    Shed,
 }
 
 /// One audit record.
@@ -125,6 +129,7 @@ pub fn verify_lifecycles(log: &AuditLog) -> usize {
             (State::Fresh, TaskEventKind::Submitted) => State::Queued,
             (State::Queued, TaskEventKind::Assigned { worker }) => State::Running(worker),
             (State::Queued, TaskEventKind::Expired) => State::Done,
+            (State::Queued, TaskEventKind::Shed) => State::Done,
             (State::Running(w), TaskEventKind::Recalled { worker }) => {
                 assert_eq!(
                     w, worker,
@@ -196,6 +201,37 @@ mod tests {
             (60.0, 7, TaskEventKind::Expired),
         ]);
         assert_eq!(verify_lifecycles(&log), 1);
+    }
+
+    #[test]
+    fn shed_lifecycle_including_after_recall() {
+        let w = WorkerId(1);
+        let log = log_of(&[
+            (0.0, 7, TaskEventKind::Submitted),
+            (3.0, 7, TaskEventKind::Shed),
+            (0.0, 8, TaskEventKind::Submitted),
+            (1.0, 8, TaskEventKind::Assigned { worker: w }),
+            (5.0, 8, TaskEventKind::Recalled { worker: w }),
+            (6.0, 8, TaskEventKind::Shed),
+        ]);
+        assert_eq!(verify_lifecycles(&log), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn rejects_shedding_a_running_task() {
+        let log = log_of(&[
+            (0.0, 1, TaskEventKind::Submitted),
+            (
+                1.0,
+                1,
+                TaskEventKind::Assigned {
+                    worker: WorkerId(1),
+                },
+            ),
+            (2.0, 1, TaskEventKind::Shed),
+        ]);
+        verify_lifecycles(&log);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod task;
 pub mod task_mgmt;
 pub mod weight;
 
-pub use config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy};
+pub use config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy, RecoveryConfig};
 pub use dynamic::DynamicAssignmentComponent;
 pub use error::{CoreError, ReactError};
 pub use events::{verify_lifecycles, AuditLog, TaskEvent, TaskEventKind};

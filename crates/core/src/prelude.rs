@@ -10,7 +10,7 @@
 //! assert!(server.tasks().unassigned().is_empty());
 //! ```
 
-pub use crate::config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy};
+pub use crate::config::{BatchTrigger, Config, LatencyModelKind, MatcherPolicy, RecoveryConfig};
 pub use crate::error::{CoreError, ReactError};
 pub use crate::ids::{TaskCategory, TaskId, WorkerId};
 pub use crate::server::{CompletionOutcome, ReactServer, ServerBuilder, StageTimings, TickOutcome};

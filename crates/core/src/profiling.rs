@@ -42,6 +42,12 @@ pub struct WorkerProfile {
     estimator: ExecTimeEstimator,
     assignments_served: u64,
     reward_range: Option<(f64, f64)>,
+    /// Times the recovery layer flagged this worker for failing progress
+    /// deadlines.
+    suspicions: u32,
+    /// Multiplicative penalty applied to the Eq. (1) accuracy while the
+    /// worker is suspect (1.0 = trusted).
+    weight_penalty: f64,
 }
 
 impl WorkerProfile {
@@ -54,6 +60,8 @@ impl WorkerProfile {
             estimator: ExecTimeEstimator::new(estimator_config),
             assignments_served: 0,
             reward_range: None,
+            suspicions: 0,
+            weight_penalty: 1.0,
         }
     }
 
@@ -94,18 +102,41 @@ impl WorkerProfile {
     /// Fallback ladder for sparse history (the paper trains new workers
     /// at maximum weight): no history in the category → overall accuracy;
     /// no history at all → 1.0 (optimistic).
+    /// A suspect worker's tally is additionally scaled by the recovery
+    /// layer's [`weight_penalty`](Self::weight_penalty), so repeatedly
+    /// unresponsive workers sink in the matching order without being
+    /// evicted outright.
     pub fn accuracy(&self, category: TaskCategory) -> f64 {
-        if let Some(s) = self.by_category.get(&category) {
+        let raw = if let Some(s) = self.by_category.get(&category) {
             if s.finished > 0 {
-                return s.positive as f64 / s.finished as f64;
+                s.positive as f64 / s.finished as f64
+            } else {
+                self.overall_accuracy()
             }
-        }
+        } else {
+            self.overall_accuracy()
+        };
+        raw * self.weight_penalty
+    }
+
+    fn overall_accuracy(&self) -> f64 {
         let finished = self.total_finished();
         if finished > 0 {
             self.total_positive() as f64 / finished as f64
         } else {
             1.0
         }
+    }
+
+    /// Times the recovery layer marked this worker suspect.
+    pub fn suspicions(&self) -> u32 {
+        self.suspicions
+    }
+
+    /// Current multiplicative penalty on the worker's accuracy weight
+    /// (1.0 = trusted, decays per suspicion).
+    pub fn weight_penalty(&self) -> f64 {
+        self.weight_penalty
     }
 
     /// The fitted execution-time model (None until the estimator warms
@@ -294,6 +325,17 @@ impl ProfilingComponent {
     /// the worker becomes available but no completion is logged.
     pub fn record_recall(&mut self, id: WorkerId) -> Result<(), CoreError> {
         self.set_availability(id, Availability::Available)
+    }
+
+    /// Marks a worker suspect: decays its profile weight by `decay`
+    /// (multiplicative, clamped to `(0, 1]`) and bumps its suspicion
+    /// count. Returns the new count. The recovery layer calls this after
+    /// repeated progress timeouts.
+    pub fn mark_suspect(&mut self, id: WorkerId, decay: f64) -> Result<u32, CoreError> {
+        let p = self.profile_mut(id)?;
+        p.suspicions += 1;
+        p.weight_penalty = (p.weight_penalty * decay.clamp(f64::MIN_POSITIVE, 1.0)).max(0.0);
+        Ok(p.suspicions)
     }
 
     /// Ids of all currently available workers, in sorted order for
@@ -520,6 +562,25 @@ mod tests {
         p.set_reward_range(WorkerId(1), None).unwrap();
         assert!(p.profile(WorkerId(1)).unwrap().accepts_reward(1e9));
         assert!(p.set_reward_range(WorkerId(2), None).is_err());
+    }
+
+    #[test]
+    fn suspicion_decays_accuracy_weight() {
+        let mut p = profiler_with_worker();
+        let cat = TaskCategory(0);
+        for _ in 0..4 {
+            p.record_completion(WorkerId(1), cat, 3.0, true).unwrap();
+        }
+        assert_eq!(p.profile(WorkerId(1)).unwrap().accuracy(cat), 1.0);
+        assert_eq!(p.mark_suspect(WorkerId(1), 0.5).unwrap(), 1);
+        assert_eq!(p.mark_suspect(WorkerId(1), 0.5).unwrap(), 2);
+        let prof = p.profile(WorkerId(1)).unwrap();
+        assert_eq!(prof.suspicions(), 2);
+        assert!((prof.weight_penalty() - 0.25).abs() < 1e-12);
+        assert!((prof.accuracy(cat) - 0.25).abs() < 1e-12);
+        // The fallback ladder is penalised too.
+        assert!((prof.accuracy(TaskCategory(9)) - 0.25).abs() < 1e-12);
+        assert!(p.mark_suspect(WorkerId(9), 0.5).is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use rand::SeedableRng;
 use react_geo::GeoPoint;
 use react_matching::{BipartiteGraph, CostModel, MatcherEngine};
 use react_obs::{null_observer, CounterKind, HistogramKind, ObserverHandle, SpanKind, SpanTimer};
+use std::collections::HashMap;
 
 /// Wall-clock seconds spent in each named stage of one tick's pipeline
 /// (expire → recall → build → match → commit).
@@ -96,9 +97,16 @@ impl StageTimings {
 pub struct TickOutcome {
     /// Queued tasks whose deadlines expired before assignment.
     pub expired: Vec<TaskId>,
-    /// Tasks recalled from workers by the Eq. (2) check (already moved
-    /// back to the unassigned pool).
+    /// Tasks recalled from workers — by the Eq. (2) check or by the
+    /// recovery timeout ladder (already moved back to the unassigned
+    /// pool).
     pub recalls: Vec<Recall>,
+    /// How many of [`TickOutcome::recalls`] were forced by the recovery
+    /// timeout ladder rather than the Eq. (2) model.
+    pub timeout_recalls: u64,
+    /// Queued tasks shed this tick (graceful degradation: worker pool
+    /// below `recovery.pool_floor`), lowest value first.
+    pub shed: Vec<TaskId>,
     /// Fresh `(worker, task)` assignments from this tick's batch.
     pub assignments: Vec<(WorkerId, TaskId)>,
     /// When the batch's assignments take effect: `now` plus the modelled
@@ -223,6 +231,9 @@ pub struct ReactServer {
     batches_run: u64,
     audit: Option<AuditLog>,
     observer: ObserverHandle,
+    /// Consecutive progress timeouts per worker since their last
+    /// completion (the suspicion ladder's strike counter).
+    timeout_strikes: HashMap<WorkerId, u32>,
 }
 
 impl ReactServer {
@@ -258,6 +269,7 @@ impl ReactServer {
             batches_run: 0,
             audit,
             observer,
+            timeout_strikes: HashMap::new(),
         }
     }
 
@@ -438,10 +450,11 @@ impl ReactServer {
 
         let t = SpanTimer::start();
         outcome.expired = self.stage_expire(now);
+        outcome.shed = self.stage_shed(now);
         outcome.stage_timings.expire = t.finish(self.observer.as_ref(), SpanKind::StageExpire);
 
         let t = SpanTimer::start();
-        outcome.recalls = self.stage_recall(now);
+        (outcome.recalls, outcome.timeout_recalls) = self.stage_recall(now);
         outcome.stage_timings.recall = t.finish(self.observer.as_ref(), SpanKind::StageRecall);
 
         if self.batch_due(now) {
@@ -465,6 +478,12 @@ impl ReactServer {
             }
             if !outcome.recalls.is_empty() {
                 obs.incr(CounterKind::Reassignments, outcome.recalls.len() as u64);
+            }
+            if outcome.timeout_recalls > 0 {
+                obs.incr(CounterKind::TimeoutRecalls, outcome.timeout_recalls);
+            }
+            if !outcome.shed.is_empty() {
+                obs.incr(CounterKind::TasksShed, outcome.shed.len() as u64);
             }
             if !outcome.assignments.is_empty() {
                 obs.incr(CounterKind::TasksAssigned, outcome.assignments.len() as u64);
@@ -490,9 +509,11 @@ impl ReactServer {
     }
 
     /// Pipeline stage 2: recall in-flight assignments the Eq. (2) model
-    /// has given up on.
-    fn stage_recall(&mut self, now: f64) -> Vec<Recall> {
-        let recalls =
+    /// has given up on, then apply the recovery timeout ladder to
+    /// whatever is still in flight. Returns all recalls plus how many of
+    /// them the ladder forced.
+    fn stage_recall(&mut self, now: f64) -> (Vec<Recall>, u64) {
+        let mut recalls =
             DynamicAssignmentComponent::check(&self.config, &mut self.profiling, &self.tasks, now);
         for recall in &recalls {
             if self.tasks.mark_unassigned(recall.task).is_ok() {
@@ -506,7 +527,86 @@ impl ReactServer {
                 );
             }
         }
-        recalls
+        let timeout_recalls = self.stage_timeout_ladder(now, &mut recalls);
+        (recalls, timeout_recalls)
+    }
+
+    /// The recovery timeout ladder: every in-flight assignment gets
+    /// `min(progress_timeout · backoff^attempt, max_timeout)` seconds to
+    /// show progress before it is recalled, and a worker that times out
+    /// `suspect_after` times without completing anything is marked
+    /// suspect (its profile weight decays). Unlike the Eq. (2) check,
+    /// the ladder needs no latency model — it is the only recovery path
+    /// for silently abandoned tasks and lost completion messages, and it
+    /// also covers past-due assignments so they can expire instead of
+    /// hanging forever on a dead worker.
+    fn stage_timeout_ladder(&mut self, now: f64, recalls: &mut Vec<Recall>) -> u64 {
+        let rc = self.config.recovery;
+        let Some(t0) = rc.progress_timeout else {
+            return 0;
+        };
+        let mut timeout_recalls = 0u64;
+        let mut suspected = 0u64;
+        for (task, worker) in self.tasks.assigned() {
+            let Ok(rec) = self.tasks.record(task) else {
+                continue; // assigned ids are always tracked
+            };
+            // Attempt 0 = first assignment; each retry widens the
+            // allowance by the backoff factor, capped at max_timeout.
+            let attempt = rec.assignment_count.saturating_sub(1).min(64);
+            let allowance = (t0 * rc.backoff_factor.powi(attempt as i32)).min(rc.max_timeout);
+            let Some(elapsed) = rec.elapsed_since_assignment(now) else {
+                continue;
+            };
+            if elapsed <= allowance {
+                continue;
+            }
+            if self.tasks.mark_unassigned(task).is_err() {
+                continue;
+            }
+            let _ = self.profiling.record_recall(worker);
+            self.record_event(now, task, TaskEventKind::Recalled { worker });
+            recalls.push(Recall {
+                task,
+                worker,
+                probability: 0.0,
+            });
+            timeout_recalls += 1;
+            if rc.suspect_after > 0 {
+                let strikes = self.timeout_strikes.entry(worker).or_insert(0);
+                *strikes += 1;
+                if *strikes >= rc.suspect_after {
+                    *strikes = 0;
+                    if self
+                        .profiling
+                        .mark_suspect(worker, rc.suspect_decay)
+                        .is_ok()
+                    {
+                        suspected += 1;
+                    }
+                }
+            }
+        }
+        if suspected > 0 && self.observer.enabled() {
+            self.observer.incr(CounterKind::WorkersSuspected, suspected);
+        }
+        timeout_recalls
+    }
+
+    /// Graceful degradation: when the live worker pool has collapsed
+    /// below `recovery.pool_floor`, shed queued tasks (lowest reward
+    /// first) down to `recovery.shed_queue_cap` instead of letting the
+    /// whole queue slide past its deadlines.
+    fn stage_shed(&mut self, now: f64) -> Vec<TaskId> {
+        let rc = self.config.recovery;
+        if rc.pool_floor == 0 || self.profiling.online_workers().len() >= rc.pool_floor {
+            return Vec::new();
+        }
+        let shed = self.tasks.shed_lowest_value(rc.shed_queue_cap);
+        for &task in &shed {
+            self.record_event(now, task, TaskEventKind::Shed);
+        }
+        shed
     }
 
     /// Whether the scheduler is free and the batch trigger fires.
@@ -608,6 +708,9 @@ impl ReactServer {
             .ok_or(CoreError::NotAssigned { task, worker })?;
         let category = rec.task.category;
         let met_deadline = self.tasks.complete(task, worker, now)?;
+        // A delivered result absolves the worker of accumulated progress
+        // strikes (the suspicion ladder counts *consecutive* timeouts).
+        self.timeout_strikes.remove(&worker);
         let positive_feedback = quality_ok && met_deadline;
         self.profiling.record_completion(
             worker,
@@ -821,6 +924,97 @@ mod tests {
         s.tick(10.0);
         let out = s.tick(55.0);
         assert!(out.recalls.is_empty());
+    }
+
+    #[test]
+    fn timeout_ladder_recalls_silent_workers_and_suspects_them() {
+        use crate::config::RecoveryConfig;
+        let mut config = Config::paper_defaults();
+        config.batch = BatchTrigger {
+            min_unassigned: 1,
+            period: None,
+        };
+        config.recovery = RecoveryConfig::aggressive(10.0);
+        config.recovery.suspect_after = 2;
+        config.recovery.suspect_decay = 0.5;
+        let mut s = ReactServer::builder(config)
+            .seed(7)
+            .cost_model(CostModel::free())
+            .audit(true)
+            .build()
+            .unwrap();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 600.0), 0.0);
+        assert_eq!(s.tick(0.0).assignments.len(), 1);
+        // Inside the 10 s allowance: nothing happens.
+        let out = s.tick(5.0);
+        assert!(out.recalls.is_empty() && out.timeout_recalls == 0);
+        // Past it: the ladder recalls, and the lone worker is re-picked.
+        let out = s.tick(11.0);
+        assert_eq!(out.timeout_recalls, 1);
+        assert_eq!(out.recalls.len(), 1);
+        assert_eq!(out.recalls[0].task, TaskId(1));
+        assert_eq!(out.assignments, vec![(WorkerId(1), TaskId(1))]);
+        // Attempt 1 gets a backed-off 20 s allowance.
+        let out = s.tick(25.0);
+        assert!(out.recalls.is_empty(), "within the widened allowance");
+        let out = s.tick(35.0);
+        assert_eq!(out.timeout_recalls, 1, "second strike past 11+20");
+        // Two strikes ⇒ suspect, weight decayed.
+        let prof = s.profiling().profile(WorkerId(1)).unwrap();
+        assert_eq!(prof.suspicions(), 1);
+        assert!((prof.weight_penalty() - 0.5).abs() < 1e-12);
+        crate::verify_lifecycles(s.audit().unwrap());
+        // A completion clears the strike counter.
+        s.complete_task(TaskId(1), WorkerId(1), 36.0, true).unwrap();
+        assert!(s.timeout_strikes.is_empty());
+    }
+
+    #[test]
+    fn ladder_disabled_by_default_leaves_stalled_workers_alone() {
+        let mut s = eager_server();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 600.0), 0.0);
+        s.tick(0.0);
+        // No profile (cold worker) and no ladder: nothing recalls even
+        // after a long stall.
+        let out = s.tick(500.0);
+        assert!(out.recalls.is_empty());
+        assert_eq!(out.timeout_recalls, 0);
+    }
+
+    #[test]
+    fn pool_collapse_sheds_lowest_value_tasks() {
+        use crate::config::RecoveryConfig;
+        let mut config = Config::paper_defaults();
+        config.recovery = RecoveryConfig {
+            pool_floor: 1,
+            shed_queue_cap: 1,
+            ..RecoveryConfig::disabled()
+        };
+        let mut s = ReactServer::builder(config)
+            .seed(7)
+            .audit(true)
+            .build()
+            .unwrap();
+        let submit = |s: &mut ReactServer, id: u64, reward: f64| {
+            s.submit_task(
+                Task::new(TaskId(id), here(), 600.0, reward, TaskCategory(0), "t"),
+                0.0,
+            );
+        };
+        // No workers online: pool (0) is below the floor (1).
+        submit(&mut s, 1, 0.09);
+        submit(&mut s, 2, 0.01);
+        submit(&mut s, 3, 0.05);
+        let out = s.tick(1.0);
+        assert_eq!(out.shed, vec![TaskId(2), TaskId(3)], "cheapest shed first");
+        assert_eq!(s.tasks().unassigned(), &[TaskId(1)]);
+        crate::verify_lifecycles(s.audit().unwrap());
+        // With a worker online the pool is at the floor: no shedding.
+        s.register_worker(WorkerId(1), here());
+        submit(&mut s, 4, 0.01);
+        assert!(s.tick(2.0).shed.is_empty());
     }
 
     #[test]

@@ -206,6 +206,32 @@ impl TaskManagementComponent {
         expired
     }
 
+    /// Sheds unassigned tasks, lowest reward first, until at most `keep`
+    /// remain queued — the graceful-degradation path when the live
+    /// worker pool collapses. Shed tasks are retired as
+    /// [`TaskState::Expired`] (they leave the repository without being
+    /// served); ties break on task id so shedding is deterministic.
+    /// Returns the shed ids in shedding order.
+    pub fn shed_lowest_value(&mut self, keep: usize) -> Vec<TaskId> {
+        if self.unassigned.len() <= keep {
+            return Vec::new();
+        }
+        let mut by_value: Vec<TaskId> = self.unassigned.clone();
+        by_value.sort_by(|&a, &b| {
+            let ra = self.tasks.get(&a).map(|r| r.task.reward).unwrap_or(0.0);
+            let rb = self.tasks.get(&b).map(|r| r.task.reward).unwrap_or(0.0);
+            ra.total_cmp(&rb).then(a.cmp(&b))
+        });
+        let shed: Vec<TaskId> = by_value[..self.unassigned.len() - keep].to_vec();
+        for &id in &shed {
+            if let Some(rec) = self.tasks.get_mut(&id) {
+                rec.state = TaskState::Expired;
+            }
+        }
+        self.unassigned.retain(|id| !shed.contains(id));
+        shed
+    }
+
     /// Removes retired (completed/expired) records older than `horizon`
     /// seconds before `now`, returning how many were pruned. Keeps the
     /// registry from growing without bound in long simulations.
@@ -345,6 +371,31 @@ mod tests {
         assert_eq!(rec.remaining_time(20.0), -5.0);
         assert_eq!(rec.time_to_deadline(), None);
         assert_eq!(rec.elapsed_since_assignment(20.0), None);
+    }
+
+    #[test]
+    fn shed_lowest_value_drops_cheapest_first() {
+        let mut tm = TaskManagementComponent::new();
+        let mut with_reward = |id: u64, reward: f64| {
+            let mut t = task(id, 600.0);
+            t.reward = reward;
+            tm.submit(t, 0.0).unwrap();
+        };
+        with_reward(1, 0.05);
+        with_reward(2, 0.01);
+        with_reward(3, 0.09);
+        with_reward(4, 0.01);
+        // Keep 2: both 0.01-reward tasks go, lower id first.
+        let shed = tm.shed_lowest_value(2);
+        assert_eq!(shed, vec![TaskId(2), TaskId(4)]);
+        // Survivors keep their queue order; shed tasks are retired.
+        assert_eq!(tm.unassigned(), &[TaskId(1), TaskId(3)]);
+        assert!(matches!(
+            tm.record(TaskId(2)).unwrap().state,
+            TaskState::Expired
+        ));
+        // Nothing to shed when already at or below the cap.
+        assert!(tm.shed_lowest_value(2).is_empty());
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl AuditAnalysis {
                     track.last_assigned_at = Some(e.at);
                 }
                 TaskEventKind::Recalled { .. } => track.last_assigned_at = None,
-                TaskEventKind::Expired => expired += 1,
+                TaskEventKind::Expired | TaskEventKind::Shed => expired += 1,
                 TaskEventKind::Completed { met_deadline, .. } => {
                     let (Some(t0), Some(ta)) = (track.submitted_at, track.last_assigned_at) else {
                         continue; // malformed prefix: skip defensively

@@ -38,5 +38,5 @@ pub use generator::TaskGenerator;
 pub use multiregion::{
     MultiRegionReport, MultiRegionRunner, MultiRegionScenario, SchedulePermutationMismatch,
 };
-pub use runner::{RunReport, ScenarioRunner};
+pub use runner::{FaultStats, RunReport, ScenarioRunner};
 pub use scenario::{ChurnParams, Scenario};

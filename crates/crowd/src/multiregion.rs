@@ -94,6 +94,7 @@ impl MultiRegionReport {
                         && a.sim_duration.to_bits() == b.sim_duration.to_bits()
                         && a.exec_times == b.exec_times
                         && a.total_times == b.total_times
+                        && a.faults == b.faults
                 })
     }
 

@@ -19,12 +19,19 @@
 use crate::behavior::{generate_population, WorkerBehavior};
 use crate::generator::TaskGenerator;
 use crate::scenario::Scenario;
-use react_core::{AuditLog, ReactServer, Task, TaskId, WorkerId};
+use rand::Rng;
+use react_core::{AuditLog, ReactServer, Task, TaskCategory, TaskId, WorkerId};
+use react_faults::FaultSchedule;
 use react_metrics::TimeSeries;
-use react_obs::{null_observer, ObserverHandle};
+use react_obs::{null_observer, CounterKind, ObserverHandle};
 use react_prob::distributions::{Exponential, UniformRange};
 use react_sim::{RngStreams, SimDuration, SimTime, Simulator};
 use std::collections::HashMap;
+
+/// Task ids at or above this base are injected burst tasks: far outside
+/// the sequential generator id space and the replica-id arithmetic
+/// (`logical_id * k + j`), so they can never collide with workload ids.
+const BURST_ID_BASE: u64 = 1 << 40;
 
 /// Events driving the simulation.
 #[derive(Debug)]
@@ -44,6 +51,35 @@ enum Event {
     WorkerOffline(WorkerId),
     /// A churned worker reconnects.
     WorkerOnline(WorkerId),
+    /// A fault-plan burst: `size` extra tasks arrive at one instant.
+    Burst { size: u32 },
+}
+
+/// Injected-fault and recovery accounting of one run. All zeros on a
+/// fault-free run, so reports stay comparable across scenarios.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker dropouts injected by the fault plan (churn-style departures
+    /// are counted separately in [`RunReport::churn_events`]).
+    pub dropouts: u64,
+    /// Assignments silently abandoned (worker never reports back).
+    pub abandons: u64,
+    /// Completion messages dropped in flight.
+    pub completions_lost: u64,
+    /// Completion messages delivered twice.
+    pub completions_duplicated: u64,
+    /// Duplicate deliveries the server correctly rejected. Equal to
+    /// [`FaultStats::completions_duplicated`] when idempotence holds.
+    pub duplicates_rejected: u64,
+    /// Extra tasks injected by burst arrivals.
+    pub burst_tasks: u64,
+    /// Timeout-ladder recalls performed by the recovery layer.
+    pub timeout_recalls: u64,
+    /// Tasks shed under graceful degradation (pool below floor).
+    pub sheds: u64,
+    /// Tasks still assigned when the run ended — in-flight work stranded
+    /// by faults that no recovery path reclaimed.
+    pub stranded: u64,
 }
 
 /// Aggregated results of one simulation run.
@@ -96,6 +132,9 @@ pub struct RunReport {
     pub groups_any_positive: u64,
     /// Groups where at least one replica met the deadline.
     pub groups_any_met: u64,
+    /// Injected-fault and recovery accounting (all zeros without a
+    /// [`Scenario::faults`] plan).
+    pub faults: FaultStats,
 }
 
 impl RunReport {
@@ -200,6 +239,13 @@ impl ScenarioRunner {
         let mut pop_rng = streams.stream("population");
         let mut workload_rng = streams.stream("workload");
         let mut behavior_rng = streams.stream("behavior");
+        // The fault plan draws only from `fault.*` streams, so a fault-free
+        // run is bit-identical to one with `faults: Some(FaultPlan::none())`.
+        let fault_schedule = match &sc.faults {
+            Some(plan) if !plan.is_noop() => plan.materialize(&streams, sc.n_workers),
+            _ => FaultSchedule::none(),
+        };
+        let mut burst_rng = streams.stream("fault.burst-tasks");
 
         // Crowd.
         let behaviors: Vec<WorkerBehavior> =
@@ -250,6 +296,7 @@ impl ScenarioRunner {
             groups_majority_positive: 0,
             groups_any_positive: 0,
             groups_any_met: 0,
+            faults: FaultStats::default(),
         };
         let mut epochs: HashMap<TaskId, u32> = HashMap::new();
         // Replica bookkeeping: group id → (resolved, positive, met).
@@ -300,6 +347,27 @@ impl ScenarioRunner {
                 );
             }
         }
+        // Fault-plan events are fully materialised up front, so their
+        // schedule is independent of anything the run does.
+        for d in fault_schedule.dropouts() {
+            if d.worker >= sc.n_workers {
+                continue;
+            }
+            report.faults.dropouts += 1;
+            sim.schedule_at(
+                SimTime::from_secs(d.at),
+                Event::WorkerOffline(WorkerId(d.worker as u64)),
+            );
+            if let Some(rejoin) = d.rejoin_at {
+                sim.schedule_at(
+                    SimTime::from_secs(rejoin),
+                    Event::WorkerOnline(WorkerId(d.worker as u64)),
+                );
+            }
+        }
+        for &(at, size) in fault_schedule.bursts() {
+            sim.schedule_at(SimTime::from_secs(at), Event::Burst { size });
+        }
 
         while let Some((at, event)) = sim.next_event() {
             let now = at.as_secs();
@@ -336,6 +404,42 @@ impl ScenarioRunner {
                         &mut next_free,
                         &mut sim,
                         &mut report,
+                        &fault_schedule,
+                    );
+                }
+                Event::Burst { size } => {
+                    for _ in 0..size {
+                        let id = TaskId(BURST_ID_BASE + report.faults.burst_tasks);
+                        let deadline = burst_rng.gen_range(
+                            sc.deadline_range.0
+                                ..sc.deadline_range.1.max(sc.deadline_range.0 + f64::EPSILON),
+                        );
+                        let reward = burst_rng.gen_range(0.01..0.10);
+                        let category = TaskCategory(burst_rng.gen_range(0..sc.n_categories.max(1)));
+                        let task = Task::new(
+                            id,
+                            sc.region.random_point(&mut burst_rng),
+                            deadline,
+                            reward,
+                            category,
+                            "burst",
+                        );
+                        report.received += 1;
+                        report.faults.burst_tasks += 1;
+                        server.submit_task(task, now);
+                    }
+                    // A burst extends the drain window like any arrival.
+                    last_arrival_at = now;
+                    Self::control_step(
+                        &mut server,
+                        now,
+                        &behaviors,
+                        &mut behavior_rng,
+                        &mut epochs,
+                        &mut next_free,
+                        &mut sim,
+                        &mut report,
+                        &fault_schedule,
                     );
                 }
                 Event::Tick => {
@@ -348,8 +452,11 @@ impl ScenarioRunner {
                         &mut next_free,
                         &mut sim,
                         &mut report,
+                        &fault_schedule,
                     );
-                    let workload_done = report.received as usize >= total_tasks * k;
+                    // Burst tasks are extra load, not workload progress.
+                    let workload_done =
+                        (report.received - report.faults.burst_tasks) as usize >= total_tasks * k;
                     let tasks_open = server.tasks().unassigned_count() > 0
                         || !server.tasks().assigned().is_empty();
                     let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
@@ -375,7 +482,8 @@ impl ScenarioRunner {
                     let _ = server.worker_online(worker);
                     // Schedule the next departure only while the run is
                     // still live, so the event queue can drain.
-                    let workload_done = report.received as usize >= total_tasks * k;
+                    let workload_done =
+                        (report.received - report.faults.burst_tasks) as usize >= total_tasks * k;
                     let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
                     if let (Some(churn), false) = (sc.churn, past_horizon) {
                         let online = Exponential::with_mean(churn.mean_online);
@@ -393,6 +501,14 @@ impl ScenarioRunner {
                     // Stale finish events (the task was recalled) are
                     // dropped: the worker was already freed at recall.
                     if epochs.get(&task).copied() != Some(epoch) {
+                        continue;
+                    }
+                    if fault_schedule.loses_completion(task.0, epoch) {
+                        // The worker finished but the completion message
+                        // never reached the server: the task stays
+                        // assigned until the timeout ladder recalls it
+                        // (or it strands at the horizon).
+                        report.faults.completions_lost += 1;
                         continue;
                     }
                     let behavior = &behaviors[worker.0 as usize];
@@ -420,14 +536,25 @@ impl ScenarioRunner {
                         .push(report.received as f64, report.positive_feedback as f64);
                     report.exec_times.push(outcome.exec_time);
                     report.total_times.push(now - submitted_at);
-                    let group = task.0 / k as u64;
-                    let entry = group_state.entry(group).or_insert((0, 0, false));
-                    entry.0 += 1;
-                    if outcome.positive_feedback {
-                        entry.1 += 1;
+                    // Burst tasks are not part of any replica group.
+                    if task.0 < BURST_ID_BASE {
+                        let group = task.0 / k as u64;
+                        let entry = group_state.entry(group).or_insert((0, 0, false));
+                        entry.0 += 1;
+                        if outcome.positive_feedback {
+                            entry.1 += 1;
+                        }
+                        if outcome.met_deadline {
+                            entry.2 = true;
+                        }
                     }
-                    if outcome.met_deadline {
-                        entry.2 = true;
+                    if fault_schedule.duplicates_completion(task.0, epoch) {
+                        // Deliver the same completion a second time; the
+                        // server must reject it as already completed.
+                        report.faults.completions_duplicated += 1;
+                        if server.complete_task(task, worker, now, quality_ok).is_err() {
+                            report.faults.duplicates_rejected += 1;
+                        }
                     }
                 }
             }
@@ -437,7 +564,7 @@ impl ScenarioRunner {
         report.batches = server.batches_run();
         report.total_matching_seconds = server.total_matching_seconds();
         report.audit = server.audit().cloned();
-        report.groups = report.received.div_ceil(k as u64);
+        report.groups = (report.received - report.faults.burst_tasks).div_ceil(k as u64);
         for (_, (_resolved, positives, any_met)) in group_state {
             if positives * 2 > k {
                 report.groups_majority_positive += 1;
@@ -452,6 +579,26 @@ impl ScenarioRunner {
         // Anything still open at the horizon is a miss that never even
         // completed; count queued leftovers as expired-unassigned.
         report.expired_unassigned += server.tasks().unassigned_count() as u64;
+        report.faults.stranded = server.tasks().assigned().len() as u64;
+        if self.observer.enabled() {
+            for (kind, by) in [
+                (CounterKind::FaultDropouts, report.faults.dropouts),
+                (CounterKind::FaultAbandons, report.faults.abandons),
+                (
+                    CounterKind::FaultCompletionsLost,
+                    report.faults.completions_lost,
+                ),
+                (
+                    CounterKind::FaultCompletionsDuplicated,
+                    report.faults.completions_duplicated,
+                ),
+                (CounterKind::FaultBurstTasks, report.faults.burst_tasks),
+            ] {
+                if by > 0 {
+                    self.observer.incr(kind, by);
+                }
+            }
+        }
         report
     }
 
@@ -468,9 +615,13 @@ impl ScenarioRunner {
         next_free: &mut [f64],
         sim: &mut Simulator<Event>,
         report: &mut RunReport,
+        fault_schedule: &FaultSchedule,
     ) {
         let outcome = server.tick(now);
         report.expired_unassigned += outcome.expired.len() as u64;
+        report.expired_unassigned += outcome.shed.len() as u64;
+        report.faults.timeout_recalls += outcome.timeout_recalls;
+        report.faults.sheds += outcome.shed.len() as u64;
         for recall in &outcome.recalls {
             *epochs.entry(recall.task).or_insert(0) += 1;
             report.reassignments += 1;
@@ -488,8 +639,16 @@ impl ScenarioRunner {
             // the task behind the worker's current one.
             let w = worker.0 as usize;
             let start = outcome.effective_at.max(next_free[w]);
-            let exec_time = behaviors[w].sample_exec_time(behavior_rng);
+            let exec_time =
+                behaviors[w].sample_exec_time(behavior_rng) * fault_schedule.slowdown_factor(w);
             next_free[w] = start + exec_time;
+            if fault_schedule.abandons(task.0, epoch) {
+                // Silent abandonment: the worker holds the task but never
+                // finishes it. No Finish event — only the timeout ladder
+                // (or a dropout recall) can free the task again.
+                report.faults.abandons += 1;
+                continue;
+            }
             sim.schedule_at(
                 SimTime::from_secs(start + exec_time),
                 Event::Finish {
@@ -667,6 +826,105 @@ mod tests {
         assert!(
             r.expired_unassigned > 0,
             "extreme churn should cause queue expiries"
+        );
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical_to_no_plan() {
+        use react_faults::FaultPlan;
+        let baseline = run(MatcherPolicy::React { cycles: 200 }, 21);
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 21);
+        sc.faults = Some(FaultPlan::none());
+        let with_noop = ScenarioRunner::new(sc).run();
+        assert_eq!(baseline.exec_times, with_noop.exec_times);
+        assert_eq!(baseline.total_times, with_noop.total_times);
+        assert_eq!(baseline.met_deadline, with_noop.met_deadline);
+        assert_eq!(with_noop.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic_and_conserves_every_task() {
+        use react_core::RecoveryConfig;
+        use react_faults::FaultPlan;
+        let chaos = |seed: u64| {
+            let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, seed);
+            sc.faults = Some(FaultPlan::chaos(0.8));
+            sc.config.recovery = RecoveryConfig::aggressive(30.0);
+            ScenarioRunner::new(sc).run()
+        };
+        let a = chaos(22);
+        let b = chaos(22);
+        assert_eq!(a.faults, b.faults, "chaos runs must be bit-reproducible");
+        assert_eq!(a.exec_times, b.exec_times);
+        assert_eq!(a.met_deadline, b.met_deadline);
+        assert_eq!(a.reassignments, b.reassignments);
+        // Every task — including injected burst tasks — ends the run
+        // completed, expired/shed, or stranded in a faulty worker's hands.
+        assert_eq!(
+            a.completed + a.expired_unassigned + a.faults.stranded,
+            a.received,
+            "task conservation under chaos: {:?}",
+            a.faults
+        );
+        let injected = a.faults.dropouts
+            + a.faults.abandons
+            + a.faults.completions_lost
+            + a.faults.completions_duplicated
+            + a.faults.burst_tasks;
+        assert!(injected > 0, "chaos(0.8) must actually inject faults");
+        assert_eq!(
+            a.faults.duplicates_rejected, a.faults.completions_duplicated,
+            "every duplicated completion must be rejected by the server"
+        );
+        // A different seed materialises a different schedule.
+        let c = chaos(23);
+        assert!(a.faults != c.faults || a.exec_times != c.exec_times);
+    }
+
+    #[test]
+    fn dropout_plan_recalls_in_flight_tasks() {
+        use react_faults::FaultPlan;
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 24);
+        sc.faults = Some(FaultPlan::dropout_only(1.0));
+        let r = ScenarioRunner::new(sc).run();
+        assert!(r.faults.dropouts > 0, "every worker must drop out");
+        assert!(
+            r.churn_events >= r.faults.dropouts,
+            "each dropout fires a worker-offline event"
+        );
+        assert_eq!(
+            r.completed + r.expired_unassigned + r.faults.stranded,
+            r.received
+        );
+    }
+
+    #[test]
+    fn timeout_ladder_recovers_abandoned_tasks() {
+        use react_core::RecoveryConfig;
+        use react_faults::FaultPlan;
+        let plan = FaultPlan {
+            abandon_probability: 0.3,
+            ..FaultPlan::none()
+        };
+        let mut sc = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 25);
+        sc.faults = Some(plan);
+        sc.config.recovery = RecoveryConfig::aggressive(20.0);
+        let r = ScenarioRunner::new(sc).run();
+        assert!(r.faults.abandons > 0, "abandonment must fire at p=0.3");
+        assert!(
+            r.faults.timeout_recalls > 0,
+            "the ladder must recall abandoned work: {:?}",
+            r.faults
+        );
+        // Without the ladder the same plan strands more work.
+        let mut bare = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, 25);
+        bare.faults = Some(plan);
+        let unrecovered = ScenarioRunner::new(bare).run();
+        assert!(
+            r.completed > unrecovered.completed,
+            "recovery must convert abandoned work into completions: {} vs {}",
+            r.completed,
+            unrecovered.completed
         );
     }
 

@@ -63,6 +63,10 @@ pub struct Scenario {
     /// stream (used by the multi-region runner to partition one global
     /// stream across servers). Must be sorted by arrival time.
     pub workload: Option<Vec<(f64, react_core::Task)>>,
+    /// Fault-injection plan (`None` = a fault-free run). The plan is
+    /// materialised from the scenario's own named RNG streams, so chaos
+    /// runs stay bit-reproducible from `seed` alone.
+    pub faults: Option<react_faults::FaultPlan>,
 }
 
 impl Scenario {
@@ -92,6 +96,7 @@ impl Scenario {
             drain_horizon: 300.0,
             seed,
             workload: None,
+            faults: None,
         }
     }
 
@@ -137,6 +142,7 @@ impl Scenario {
             drain_horizon: 200.0,
             seed,
             workload: None,
+            faults: None,
         }
     }
 }

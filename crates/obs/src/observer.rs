@@ -77,6 +77,25 @@ pub enum CounterKind {
     DeadlinesMet,
     /// Positive-feedback profile updates recorded on completion.
     PositiveFeedback,
+    /// Assignments recalled by the recovery timeout ladder (progress
+    /// deadline exceeded), as opposed to Eq.(2) model recalls.
+    TimeoutRecalls,
+    /// Workers marked suspect after repeated progress timeouts (their
+    /// profile weight is decayed).
+    WorkersSuspected,
+    /// Queued tasks shed (lowest value first) because the live worker
+    /// pool collapsed below the configured floor.
+    TasksShed,
+    /// Injected worker dropouts (fault plan).
+    FaultDropouts,
+    /// Injected silent task abandonments (fault plan).
+    FaultAbandons,
+    /// Completion messages dropped in flight (fault plan).
+    FaultCompletionsLost,
+    /// Completion messages delivered twice (fault plan).
+    FaultCompletionsDuplicated,
+    /// Extra tasks injected by burst arrivals (fault plan).
+    FaultBurstTasks,
 }
 
 impl CounterKind {
@@ -97,6 +116,14 @@ impl CounterKind {
             CounterKind::TasksCompleted => "tasks.completed",
             CounterKind::DeadlinesMet => "deadlines.met",
             CounterKind::PositiveFeedback => "feedback.positive",
+            CounterKind::TimeoutRecalls => "recovery.timeout_recalls",
+            CounterKind::WorkersSuspected => "recovery.workers_suspected",
+            CounterKind::TasksShed => "recovery.tasks_shed",
+            CounterKind::FaultDropouts => "fault.dropouts",
+            CounterKind::FaultAbandons => "fault.abandons",
+            CounterKind::FaultCompletionsLost => "fault.completions_lost",
+            CounterKind::FaultCompletionsDuplicated => "fault.completions_duplicated",
+            CounterKind::FaultBurstTasks => "fault.burst_tasks",
         }
     }
 }
@@ -222,6 +249,14 @@ mod tests {
             CounterKind::TasksCompleted,
             CounterKind::DeadlinesMet,
             CounterKind::PositiveFeedback,
+            CounterKind::TimeoutRecalls,
+            CounterKind::WorkersSuspected,
+            CounterKind::TasksShed,
+            CounterKind::FaultDropouts,
+            CounterKind::FaultAbandons,
+            CounterKind::FaultCompletionsLost,
+            CounterKind::FaultCompletionsDuplicated,
+            CounterKind::FaultBurstTasks,
         ];
         for c in counters {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());

@@ -85,6 +85,7 @@ mod tests {
     #[test]
     fn now_advances_scaled() {
         let clock = ScaledClock::start(100.0);
+        // analyze: allow(no-sleep-in-tests) this test measures the wall→crowd scaling itself
         std::thread::sleep(Duration::from_millis(30));
         let t = clock.now();
         // 30 ms wall × 100 = 3 crowd-seconds, with generous slack for CI.

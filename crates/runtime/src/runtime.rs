@@ -5,13 +5,30 @@ use crate::clock::ScaledClock;
 use crate::messages::{Completion, WorkerCommand};
 use crate::worker_host::run_worker_host;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use react_core::{Config, ReactServer, Task, TaskId, WorkerId};
+use rand::Rng;
+use react_core::{Config, ReactServer, Task, TaskCategory, TaskId, WorkerId};
 use react_crowd::{generate_population, BehaviorParams, TaskGenerator, WorkerBehavior};
+use react_faults::FaultSchedule;
 use react_geo::BoundingBox;
 use react_obs::{null_observer, ObserverHandle};
 use react_sim::RngStreams;
 use std::collections::HashMap;
 use std::thread;
+
+/// Task ids at or above this base are injected burst tasks (matches the
+/// DES runner's convention in `react-crowd`).
+const BURST_ID_BASE: u64 = 1 << 40;
+
+/// A timed fault the scheduler loop applies when the scaled clock
+/// reaches its instant.
+enum FaultAction {
+    /// A worker's connectivity drops: recall its work, stop assigning.
+    Offline(usize),
+    /// The worker reconnects.
+    Online(usize),
+    /// A burst of extra tasks arrives at once.
+    Burst(Vec<Task>),
+}
 
 /// Configuration of a live run.
 #[derive(Debug, Clone)]
@@ -34,6 +51,11 @@ pub struct LiveConfig {
     pub tick_interval: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Fault-injection plan replayed at the `WorkerCommand` level
+    /// (`None` = fault-free). Plans that abandon assignments or lose
+    /// completions strand in-flight tasks; enable a recovery ladder
+    /// (`config.recovery`) so the run can terminate.
+    pub faults: Option<react_faults::FaultPlan>,
 }
 
 impl Default for LiveConfig {
@@ -52,6 +74,7 @@ impl Default for LiveConfig {
             time_scale: 60.0,
             tick_interval: 1.0,
             seed: 7,
+            faults: None,
         }
     }
 }
@@ -73,6 +96,9 @@ pub struct LiveReport {
     pub expired: u64,
     /// Matching batches run.
     pub batches: u64,
+    /// Fault-shim events applied (dropouts, abandons, losses,
+    /// duplications, burst tasks). Zero on a fault-free run.
+    pub fault_events: u64,
 }
 
 /// Orchestrates one live run.
@@ -113,6 +139,43 @@ impl LiveRuntime {
 
         let behaviors: Vec<WorkerBehavior> =
             generate_population(lc.n_workers, &lc.behavior, &mut pop_rng);
+        let schedule = match &lc.faults {
+            Some(plan) if !plan.is_noop() => plan.materialize(&streams, lc.n_workers),
+            _ => FaultSchedule::none(),
+        };
+        // Timed faults, sorted by firing instant (crowd seconds).
+        let mut timeline: Vec<(f64, FaultAction)> = Vec::new();
+        for d in schedule.dropouts() {
+            if d.worker >= lc.n_workers {
+                continue;
+            }
+            timeline.push((d.at, FaultAction::Offline(d.worker)));
+            if let Some(rejoin) = d.rejoin_at {
+                timeline.push((rejoin, FaultAction::Online(d.worker)));
+            }
+        }
+        let mut burst_rng = streams.stream("fault.burst-tasks");
+        let mut burst_seq = 0u64;
+        for &(at, size) in schedule.bursts() {
+            let tasks = (0..size)
+                .map(|_| {
+                    let id = TaskId(BURST_ID_BASE + burst_seq);
+                    burst_seq += 1;
+                    let deadline = burst_rng.gen_range(lc.deadline_range.0..lc.deadline_range.1);
+                    let reward = burst_rng.gen_range(0.01..0.10);
+                    Task::new(
+                        id,
+                        region.random_point(&mut burst_rng),
+                        deadline,
+                        reward,
+                        TaskCategory(0),
+                        "burst",
+                    )
+                })
+                .collect();
+            timeline.push((at, FaultAction::Burst(tasks)));
+        }
+        timeline.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Scheduler-side server.
         let mut server = ReactServer::builder(lc.config.clone())
@@ -166,6 +229,8 @@ impl LiveRuntime {
             &mailboxes,
             &task_rx,
             &done_rx,
+            &schedule,
+            timeline,
         );
 
         for tx in &mailboxes {
@@ -189,12 +254,18 @@ impl LiveRuntime {
         mailboxes: &[Sender<WorkerCommand>],
         task_rx: &Receiver<Task>,
         done_rx: &Receiver<Completion>,
+        schedule: &FaultSchedule,
+        timeline: Vec<(f64, FaultAction)>,
     ) -> LiveReport {
         let mut behavior_rng = streams.stream("behavior");
         let mut report = LiveReport::default();
         // Tracks the current live assignment so stale completions (from
         // a race between a recall and a finish) are dropped.
         let mut live_assignment: HashMap<TaskId, WorkerId> = HashMap::new();
+        // Per-task assignment attempt counter, keying the hash-based
+        // per-event fault decisions (same convention as the DES runner).
+        let mut attempts: HashMap<TaskId, u32> = HashMap::new();
+        let mut timeline = timeline;
         let mut requester_done = false;
 
         loop {
@@ -206,8 +277,17 @@ impl LiveRuntime {
             let handle_done = |done: Completion,
                                server: &mut ReactServer,
                                live: &mut HashMap<TaskId, WorkerId>,
+                               attempts: &HashMap<TaskId, u32>,
                                report: &mut LiveReport| {
                 if live.get(&done.task) == Some(&done.worker) {
+                    let attempt = attempts.get(&done.task).copied().unwrap_or(0);
+                    if schedule.loses_completion(done.task.0, attempt) {
+                        // The completion message is lost in flight: the
+                        // assignment stays live until the timeout ladder
+                        // recalls it.
+                        report.fault_events += 1;
+                        return;
+                    }
                     live.remove(&done.task);
                     if let Ok(out) =
                         server.complete_task(done.task, done.worker, clock.now(), done.quality_ok)
@@ -219,12 +299,27 @@ impl LiveRuntime {
                         if out.positive_feedback {
                             report.positive_feedback += 1;
                         }
+                        if schedule.duplicates_completion(done.task.0, attempt) {
+                            // Deliver the same completion a second time;
+                            // the server must reject it.
+                            report.fault_events += 1;
+                            let dup = server.complete_task(
+                                done.task,
+                                done.worker,
+                                clock.now(),
+                                done.quality_ok,
+                            );
+                            debug_assert!(dup.is_err(), "duplicate completion must be rejected");
+                            let _ = dup;
+                        }
                     }
                 }
             };
             if requester_done {
                 match done_rx.recv_timeout(deadline) {
-                    Ok(done) => handle_done(done, server, &mut live_assignment, &mut report),
+                    Ok(done) => {
+                        handle_done(done, server, &mut live_assignment, &attempts, &mut report)
+                    }
                     Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
                 }
             } else {
@@ -238,17 +333,42 @@ impl LiveRuntime {
                     },
                     recv(done_rx) -> msg => {
                         if let Ok(done) = msg {
-                            handle_done(done, server, &mut live_assignment, &mut report);
+                            handle_done(done, server, &mut live_assignment, &attempts, &mut report);
                         }
                     },
                     default(deadline) => {}
                 }
             }
 
-            // Control step.
+            // Apply timed faults whose instant has passed.
             let now = clock.now();
+            while timeline.first().is_some_and(|(at, _)| *at <= now) {
+                let (_, action) = timeline.remove(0);
+                match action {
+                    FaultAction::Offline(w) => {
+                        report.fault_events += 1;
+                        for task in server.worker_offline(WorkerId(w as u64), now) {
+                            live_assignment.remove(&task);
+                            let _ = mailboxes[w].send(WorkerCommand::Recall { task });
+                        }
+                    }
+                    FaultAction::Online(w) => {
+                        let _ = server.worker_online(WorkerId(w as u64));
+                    }
+                    FaultAction::Burst(tasks) => {
+                        for task in tasks {
+                            report.submitted += 1;
+                            report.fault_events += 1;
+                            server.submit_task(task, now);
+                        }
+                    }
+                }
+            }
+
+            // Control step.
             let outcome = server.tick(now);
             report.expired += outcome.expired.len() as u64;
+            report.expired += outcome.shed.len() as u64;
             for recall in &outcome.recalls {
                 report.recalls += 1;
                 live_assignment.remove(&recall.task);
@@ -256,9 +376,22 @@ impl LiveRuntime {
                     .send(WorkerCommand::Recall { task: recall.task });
             }
             for &(worker, task) in &outcome.assignments {
-                let exec = behaviors[worker.0 as usize].sample_exec_time(&mut behavior_rng);
+                let attempt = {
+                    let a = attempts.entry(task).or_insert(0);
+                    *a += 1;
+                    *a
+                };
+                let w = worker.0 as usize;
+                let exec =
+                    behaviors[w].sample_exec_time(&mut behavior_rng) * schedule.slowdown_factor(w);
                 live_assignment.insert(task, worker);
-                let _ = mailboxes[worker.0 as usize].send(WorkerCommand::Assign {
+                if schedule.abandons(task.0, attempt) {
+                    // Silent abandonment: the Assign never reaches the
+                    // host; only the timeout ladder frees the task.
+                    report.fault_events += 1;
+                    continue;
+                }
+                let _ = mailboxes[w].send(WorkerCommand::Assign {
                     task,
                     exec_crowd_secs: exec,
                 });
@@ -320,6 +453,34 @@ mod tests {
         assert_eq!(report.submitted, 40);
         assert_eq!(report.recalls, 0, "traditional never recalls");
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn live_run_replays_fault_plans_and_recovers() {
+        use react_core::RecoveryConfig;
+        use react_faults::{DropoutPlan, FaultPlan};
+        let mut lc = fast_config(MatcherPolicy::React { cycles: 200 });
+        lc.total_tasks = 30;
+        lc.faults = Some(FaultPlan {
+            dropout: Some(DropoutPlan {
+                probability: 0.5,
+                window: (5.0, 40.0),
+                offline_range: Some((10.0, 20.0)),
+            }),
+            abandon_probability: 0.3,
+            loss_probability: 0.1,
+            duplication_probability: 0.2,
+            ..FaultPlan::none()
+        });
+        lc.config.recovery = RecoveryConfig::aggressive(20.0);
+        let report = LiveRuntime::new(lc).run();
+        assert_eq!(report.submitted, 30);
+        assert!(report.fault_events > 0, "shims must fire: {report:?}");
+        assert_eq!(
+            report.completed + report.expired,
+            30,
+            "recovery must drain every faulted task: {report:?}"
+        );
     }
 
     #[test]

@@ -54,14 +54,27 @@ pub fn run_worker_host(
                 Err(RecvTimeoutError::Disconnected) => return,
                 Ok(WorkerCommand::Shutdown) => return,
                 Ok(WorkerCommand::Assign {
-                    task,
-                    exec_crowd_secs,
-                }) => queue.push_back((task, exec_crowd_secs)),
+                    task: assigned,
+                    exec_crowd_secs: assigned_secs,
+                }) => {
+                    // A duplicated Assign (scheduler retry, fault
+                    // injection) must not make the worker do the same
+                    // task twice.
+                    if assigned != task && !queue.iter().any(|&(t, _)| t == assigned) {
+                        queue.push_back((assigned, assigned_secs));
+                    }
+                }
                 Ok(WorkerCommand::Recall { task: recalled }) => {
+                    // Purge the pending FIFO *before* deciding about the
+                    // task in hand: a recall must be idempotent. Breaking
+                    // first used to leave a queued copy of the recalled
+                    // task behind, and the host would replay it later —
+                    // completing a task the scheduler had already
+                    // reassigned (or seen completed) elsewhere.
+                    queue.retain(|&(t, _)| t != recalled);
                     if recalled == task {
                         break false; // abandon the one in hand
                     }
-                    queue.retain(|&(t, _)| t != recalled);
                 }
             }
         };
@@ -202,6 +215,69 @@ mod tests {
         let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(!completion.quality_ok, "quality 0.0 is never positive");
         drop(cmd); // channel closes → host exits
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recall_purges_queued_copy_of_the_task_in_hand() {
+        // Regression: a duplicated Assign left a stale copy of the
+        // recalled task in the pending FIFO; the host replayed it and
+        // completed a task the scheduler had already rerouted.
+        let (cmd, done, handle) = spawn_host(1.0);
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(1),
+            exec_crowd_secs: 60_000.0,
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // Duplicate delivery of the same assignment…
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(1),
+            exec_crowd_secs: 60_000.0,
+        })
+        .unwrap();
+        // …then the recall: both the in-hand copy and any queued copy
+        // must die together.
+        cmd.send(WorkerCommand::Recall { task: TaskId(1) }).unwrap();
+        assert!(
+            done.recv_timeout(Duration::from_millis(150)).is_err(),
+            "a recalled task must never complete, even from a queued copy"
+        );
+        // The host is idle and healthy.
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(2),
+            exec_crowd_secs: 5.0,
+        })
+        .unwrap();
+        assert_eq!(
+            done.recv_timeout(Duration::from_secs(5)).unwrap().task,
+            TaskId(2)
+        );
+        drop(cmd);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_assign_completes_once() {
+        let (cmd, done, handle) = spawn_host(1.0);
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(3),
+            exec_crowd_secs: 40.0,
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        cmd.send(WorkerCommand::Assign {
+            task: TaskId(3),
+            exec_crowd_secs: 40.0,
+        })
+        .unwrap();
+        let completion = done.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(completion.task, TaskId(3));
+        assert!(
+            done.recv_timeout(Duration::from_millis(150)).is_err(),
+            "the duplicated assignment must not run a second time"
+        );
+        drop(cmd);
         handle.join().unwrap();
     }
 

@@ -36,41 +36,41 @@ fn main() {
         println!("registered {id} near {name}");
     }
 
-    // Build execution-time profiles: three quick completions per worker
-    // (the paper's z = 3 training rule) so the probabilistic model can
-    // activate.
+    // Build execution-time profiles: keep submitting quick training
+    // tasks until every worker has the paper's z = 3 completions, so the
+    // probabilistic model is active no matter whom the matcher picks for
+    // the urgent task below (the matcher, not the demo, chooses the
+    // assignee — it need not round-robin).
     let mut now = 0.0;
     let mut next_task = 100u64;
-    for round in 0..3 {
-        for w in 1..=3u64 {
-            let tid = TaskId(next_task);
-            next_task += 1;
-            server.submit_task(
-                Task::new(
-                    tid,
-                    GeoPoint::new(37.98, 23.73),
-                    60.0,
-                    0.05,
-                    TaskCategory(0),
-                    format!("training round {round}"),
-                ),
-                now,
+    while server.profiling().iter().any(|p| p.total_finished() < 3) {
+        let tid = TaskId(next_task);
+        next_task += 1;
+        server.submit_task(
+            Task::new(
+                tid,
+                GeoPoint::new(37.98, 23.73),
+                60.0,
+                0.05,
+                TaskCategory(0),
+                "training task",
+            ),
+            now,
+        );
+        let out = server.tick(now);
+        for (worker, task) in &out.assignments {
+            // Everyone answers quickly during training: 4–6 s.
+            let exec = 4.0 + (task.0 % 3) as f64 * 0.7;
+            let done = server
+                .complete_task(*task, *worker, now + exec, true)
+                .expect("assignment just made");
+            println!(
+                "t={:5.1}s  {worker} finished {task} in {exec:.1}s (deadline met: {})",
+                now + exec,
+                done.met_deadline
             );
-            let out = server.tick(now);
-            for (worker, task) in &out.assignments {
-                // Everyone answers quickly during training: 4–6 s.
-                let exec = 4.0 + w as f64 * 0.7;
-                let done = server
-                    .complete_task(*task, *worker, now + exec, true)
-                    .expect("assignment just made");
-                println!(
-                    "t={:5.1}s  {worker} finished {task} in {exec:.1}s (deadline met: {})",
-                    now + exec,
-                    done.met_deadline
-                );
-            }
-            now += 8.0;
         }
+        now += 8.0;
     }
 
     // Now the interesting part: a real-time task lands on a worker who

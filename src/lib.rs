@@ -15,6 +15,8 @@
 //! * [`prob`] — power-law fitting and the Eq. (2)/(3) deadline model;
 //! * [`crowd`] — synthetic crowd behaviour, workload generation and the
 //!   end-to-end simulation runner;
+//! * [`faults`] — declarative fault-injection plans (dropout,
+//!   stragglers, message loss/duplication, bursts) for chaos runs;
 //! * [`sim`] — the discrete-event kernel;
 //! * [`geo`] — regions, routing and distances;
 //! * [`runtime`] — the live threaded deployment;
@@ -47,6 +49,7 @@
 
 pub use react_core as core;
 pub use react_crowd as crowd;
+pub use react_faults as faults;
 pub use react_geo as geo;
 pub use react_matching as matching;
 pub use react_metrics as metrics;
