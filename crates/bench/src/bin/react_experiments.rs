@@ -8,6 +8,7 @@
 //!   fig5 … fig8     end-to-end comparison (one run serves all four)
 //!   fig9, fig10     scalability sweep
 //!   regions         serial vs parallel region execution / graph build
+//!   hotpath         scheduling hot-path micro-benchmarks (BENCH_hotpath.json)
 //!   case            CrowdFlower case-study statistics
 //!   ablation        all design-choice ablations
 //!   chaos           fault-injection sweep (deadline misses + recovery latency)
@@ -26,7 +27,7 @@
 //! minutes, `--quick` a few seconds.
 
 use react_bench::{
-    ablation, casestudy, chaos, endtoend, fig34, regions, report::OutputSink, sweep,
+    ablation, casestudy, chaos, endtoend, fig34, hotpath, regions, report::OutputSink, sweep,
 };
 use std::process::ExitCode;
 
@@ -76,7 +77,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: react-experiments \
-[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|case|ablation|chaos|all] \
+[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|hotpath|case|ablation|chaos|all] \
 [--quick] [--seed N] [--out DIR] [--no-csv] [--observe]";
 
 fn run_fig34(cli: &Cli) {
@@ -127,6 +128,22 @@ fn run_regions(cli: &Cli) {
     if cli.observe {
         let observed = regions::observe(&params);
         println!("{}", regions::observe_report(&observed, &cli.sink));
+    }
+}
+
+fn run_hotpath(cli: &Cli) {
+    let mut params = if cli.quick {
+        hotpath::HotpathParams::quick()
+    } else {
+        hotpath::HotpathParams::default()
+    };
+    params.seed = cli.seed;
+    let report = hotpath::run(&params, cli.quick);
+    println!("{}", hotpath::render(&report, &cli.sink));
+    let path = hotpath::default_json_path();
+    match hotpath::write_json(&report, &path) {
+        Ok(()) => println!("# JSON → {}", path.display()),
+        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
     }
 }
 
@@ -184,6 +201,7 @@ fn main() -> ExitCode {
         "fig5" | "fig6" | "fig7" | "fig8" => run_endtoend(&cli),
         "fig9" | "fig10" => run_sweep(&cli),
         "regions" => run_regions(&cli),
+        "hotpath" => run_hotpath(&cli),
         "case" => run_case(&cli),
         "ablation" => run_ablation(&cli),
         "chaos" => run_chaos(&cli),
@@ -192,6 +210,7 @@ fn main() -> ExitCode {
             run_endtoend(&cli);
             run_sweep(&cli);
             run_regions(&cli);
+            run_hotpath(&cli);
             run_case(&cli);
             run_ablation(&cli);
             run_chaos(&cli);

@@ -12,6 +12,7 @@
 //! | [`endtoend`] | Figs. 5–8 (deadline curve, feedback curve, execution times) |
 //! | [`sweep`] | Figs. 9–10 (scalability sweep) |
 //! | [`regions`] | serial-vs-parallel region execution and graph build |
+//! | [`hotpath`] | scheduling hot-path micro-benchmarks (no paper counterpart: cold vs incremental graph build, matcher cycles/s, tick throughput → `BENCH_hotpath.json`) |
 //! | [`casestudy`] | the Sec. V-C CrowdFlower case-study statistics |
 //! | [`ablation`] | the design-choice ablations listed in `DESIGN.md` |
 //! | [`chaos`] | fault-injection sweep (no paper counterpart: REACT vs baselines under worker dropout, stragglers, message loss) |
@@ -23,6 +24,7 @@ pub mod casestudy;
 pub mod chaos;
 pub mod endtoend;
 pub mod fig34;
+pub mod hotpath;
 pub mod regions;
 pub mod report;
 pub mod sweep;

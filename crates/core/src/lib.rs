@@ -74,7 +74,10 @@ pub use events::{verify_lifecycles, AuditLog, TaskEvent, TaskEventKind};
 pub use ids::{TaskCategory, TaskId, WorkerId};
 pub use persist::{export_profiles, import_profiles, PersistError};
 pub use profiling::{Availability, ProfilingComponent, WorkerProfile};
-pub use scheduling::{BatchResult, GraphBuilder, SchedulingComponent, WorkerRow};
+pub use scheduling::{
+    BatchResult, BatchScratch, BuildStats, BuiltBatchGraph, GraphBuilder, SchedulingComponent,
+    WorkerRow,
+};
 pub use server::{CompletionOutcome, ReactServer, ServerBuilder, StageTimings, TickOutcome};
 pub use task::{Task, TaskState};
 pub use task_mgmt::TaskManagementComponent;

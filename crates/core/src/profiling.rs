@@ -48,6 +48,11 @@ pub struct WorkerProfile {
     /// Multiplicative penalty applied to the Eq. (1) accuracy while the
     /// worker is suspect (1.0 = trusted).
     weight_penalty: f64,
+    /// Bumped on every profile mutation that can change scheduling
+    /// output (availability, samples, feedback, reward range, penalty,
+    /// location). The batch scratch keys its phase-A row cache on this,
+    /// so an unchanged epoch proves the cached row is still valid.
+    epoch: u64,
 }
 
 impl WorkerProfile {
@@ -62,7 +67,13 @@ impl WorkerProfile {
             reward_range: None,
             suspicions: 0,
             weight_penalty: 1.0,
+            epoch: 0,
         }
+    }
+
+    /// The profile's mutation epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The worker's id.
@@ -206,6 +217,11 @@ impl WorkerProfile {
 pub struct ProfilingComponent {
     workers: HashMap<WorkerId, WorkerProfile>,
     estimator_config: EstimatorConfig,
+    /// Source of fresh [`WorkerProfile::epoch`] values. Strictly
+    /// increasing across the component's lifetime, so a deregistered and
+    /// re-registered worker can never repeat an epoch the scratch cache
+    /// may still remember.
+    next_epoch: u64,
 }
 
 impl Default for ProfilingComponent {
@@ -221,7 +237,21 @@ impl ProfilingComponent {
         ProfilingComponent {
             workers: HashMap::new(),
             estimator_config,
+            next_epoch: 0,
         }
+    }
+
+    /// [`Self::profile_mut`] plus an epoch bump: every scheduling-visible
+    /// mutation below goes through this.
+    fn touch(&mut self, id: WorkerId) -> Result<&mut WorkerProfile, CoreError> {
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        let p = self
+            .workers
+            .get_mut(&id)
+            .ok_or(CoreError::UnknownWorker(id))?;
+        p.epoch = epoch;
+        Ok(p)
     }
 
     /// Registers a new worker at `location`, initially available.
@@ -229,8 +259,10 @@ impl ProfilingComponent {
         if self.workers.contains_key(&id) {
             return Err(CoreError::DuplicateWorker(id));
         }
-        self.workers
-            .insert(id, WorkerProfile::new(id, location, self.estimator_config));
+        self.next_epoch += 1;
+        let mut profile = WorkerProfile::new(id, location, self.estimator_config);
+        profile.epoch = self.next_epoch;
+        self.workers.insert(id, profile);
         Ok(())
     }
 
@@ -268,13 +300,13 @@ impl ProfilingComponent {
         id: WorkerId,
         availability: Availability,
     ) -> Result<(), CoreError> {
-        self.profile_mut(id)?.availability = availability;
+        self.touch(id)?.availability = availability;
         Ok(())
     }
 
     /// Updates a worker's reported location.
     pub fn set_location(&mut self, id: WorkerId, location: GeoPoint) -> Result<(), CoreError> {
-        self.profile_mut(id)?.location = location;
+        self.touch(id)?.location = location;
         Ok(())
     }
 
@@ -287,14 +319,14 @@ impl ProfilingComponent {
         range: Option<(f64, f64)>,
     ) -> Result<(), CoreError> {
         let normalized = range.map(|(a, b)| if a <= b { (a, b) } else { (b, a) });
-        self.profile_mut(id)?.reward_range = normalized;
+        self.touch(id)?.reward_range = normalized;
         Ok(())
     }
 
     /// Records that the worker received an assignment (training counter)
     /// and marks them busy.
     pub fn record_assignment(&mut self, id: WorkerId) -> Result<(), CoreError> {
-        let p = self.profile_mut(id)?;
+        let p = self.touch(id)?;
         p.assignments_served += 1;
         p.availability = Availability::Busy;
         Ok(())
@@ -310,7 +342,7 @@ impl ProfilingComponent {
         exec_time: f64,
         positive_feedback: bool,
     ) -> Result<(), CoreError> {
-        let p = self.profile_mut(id)?;
+        let p = self.touch(id)?;
         p.estimator.observe(exec_time);
         let stats = p.by_category.entry(category).or_default();
         stats.finished += 1;
@@ -332,7 +364,7 @@ impl ProfilingComponent {
     /// count. Returns the new count. The recovery layer calls this after
     /// repeated progress timeouts.
     pub fn mark_suspect(&mut self, id: WorkerId, decay: f64) -> Result<u32, CoreError> {
-        let p = self.profile_mut(id)?;
+        let p = self.touch(id)?;
         p.suspicions += 1;
         p.weight_penalty = (p.weight_penalty * decay.clamp(f64::MIN_POSITIVE, 1.0)).max(0.0);
         Ok(p.suspicions)
@@ -385,7 +417,7 @@ impl ProfilingComponent {
         exec_samples: &[f64],
     ) -> Result<(), CoreError> {
         self.register(id, location)?;
-        let profile = self.profile_mut(id).expect("just registered");
+        let profile = self.touch(id).expect("just registered");
         profile.assignments_served = assignments_served;
         profile.reward_range = reward_range.map(|(a, b)| if a <= b { (a, b) } else { (b, a) });
         for &(category, finished, positive) in category_stats {
@@ -581,6 +613,41 @@ mod tests {
         // The fallback ladder is penalised too.
         assert!((prof.accuracy(TaskCategory(9)) - 0.25).abs() < 1e-12);
         assert!(p.mark_suspect(WorkerId(9), 0.5).is_err());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_scheduling_visible_mutation() {
+        let mut p = profiler_with_worker();
+        let mut last = p.profile(WorkerId(1)).unwrap().epoch();
+        let mut expect_bump = |p: &ProfilingComponent, what: &str| {
+            let e = p.profile(WorkerId(1)).unwrap().epoch();
+            assert!(e > last, "{what} must bump the epoch");
+            last = e;
+        };
+        p.record_assignment(WorkerId(1)).unwrap();
+        expect_bump(&p, "record_assignment");
+        p.record_completion(WorkerId(1), TaskCategory(0), 3.0, true)
+            .unwrap();
+        expect_bump(&p, "record_completion");
+        p.record_recall(WorkerId(1)).unwrap();
+        expect_bump(&p, "record_recall");
+        p.set_availability(WorkerId(1), Availability::Offline)
+            .unwrap();
+        expect_bump(&p, "set_availability");
+        p.set_location(WorkerId(1), GeoPoint::new(40.0, 22.0))
+            .unwrap();
+        expect_bump(&p, "set_location");
+        p.set_reward_range(WorkerId(1), Some((0.1, 0.9))).unwrap();
+        expect_bump(&p, "set_reward_range");
+        p.mark_suspect(WorkerId(1), 0.5).unwrap();
+        expect_bump(&p, "mark_suspect");
+        // Lazy model access is output-idempotent and must NOT bump.
+        let _ = p.profile_mut(WorkerId(1)).unwrap().exec_model();
+        assert_eq!(p.profile(WorkerId(1)).unwrap().epoch(), last);
+        // Re-registration can never reuse an epoch the cache remembers.
+        p.deregister(WorkerId(1)).unwrap();
+        p.register(WorkerId(1), here()).unwrap();
+        assert!(p.profile(WorkerId(1)).unwrap().epoch() > last);
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //!   them back in row order — bit-identical to the serial pass. The
 //!   `parallel` cargo feature makes the parallel path the default for
 //!   large pools; both paths are always compiled.
+//!
+//! [`GraphBuilder`] is the *cold* reference path: it allocates fresh
+//! buffers and evaluates Eq. (3) exactly on every edge. The server's hot
+//! loop instead drives [`BatchScratch`], an incremental builder that
+//! reuses the graph arenas across ticks, caches phase-A rows keyed by
+//! profile epoch, and answers most Eq. (3) decisions through a memoized
+//! [`EdgeGate`] — while producing a graph that is bit-identical to the
+//! cold build (asserted under the `debug-invariants` feature).
 
 use crate::config::{Config, MatcherPolicy};
 use crate::ids::{TaskId, WorkerId};
@@ -39,7 +47,8 @@ use crate::profiling::{ProfilingComponent, WorkerProfile};
 use crate::task_mgmt::{TaskManagementComponent, TaskRecord};
 use rand::RngCore;
 use react_matching::{BipartiteGraph, MatchContext, MatcherEngine, TaskIdx, WorkerIdx};
-use react_prob::{DeadlineModel, FittedModel};
+use react_prob::{DeadlineModel, EdgeGate, FittedModel};
+use std::collections::HashMap;
 
 /// The outcome of one scheduling batch.
 #[derive(Debug, Clone)]
@@ -86,7 +95,6 @@ pub struct GraphBuilder<'a> {
 
 /// Pools below this size stay on the serial path even when the
 /// `parallel` feature is active — thread spawn would dominate.
-#[cfg(feature = "parallel")]
 const PARALLEL_MIN_ROWS: usize = 32;
 
 impl<'a> GraphBuilder<'a> {
@@ -302,6 +310,419 @@ impl<'a> GraphBuilder<'a> {
             // is broken, so drop the edge instead of aborting the batch.
             let pushed = graph.add_edge_unchecked(WorkerIdx(u as u32), TaskIdx(v), weight);
             debug_assert!(pushed.is_ok(), "builder emitted an invalid edge");
+        }
+    }
+}
+
+/// One phase-A row held in the [`BatchScratch`] cache: the snapshot
+/// [`GraphBuilder::prepare`] would have produced for this worker, plus
+/// the memoized Eq. (3) gate derived from the model, all valid while the
+/// worker's profile epoch is unchanged.
+#[derive(Debug, Clone)]
+struct CachedRow {
+    /// Profile epoch the snapshot was taken at; a mismatch on the next
+    /// batch forces a recompute.
+    epoch: u64,
+    in_training: bool,
+    model: Option<FittedModel>,
+    /// Inverted deadline kernel for `model` (present iff `model` is).
+    gate: Option<EdgeGate>,
+}
+
+/// Per-row output buffer reused across batches: the edges one worker
+/// contributes plus that row's pruning/memoization tallies.
+#[derive(Debug, Clone, Default)]
+struct RowScratch {
+    edges: Vec<(u32, f64)>,
+    pruned: usize,
+    memo_hits: u64,
+}
+
+/// Tallies from one [`BatchScratch::build`] call, for observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Workers in the batch pool (graph rows).
+    pub rows_total: usize,
+    /// Rows served from the phase-A cache (profile epoch unchanged).
+    pub rows_reused: usize,
+    /// Rows carrying a latency model this batch (cached or refit) —
+    /// the quantity the `profile.refits` counter has always reported.
+    pub refits: usize,
+    /// Eq. (3) decisions answered by the memoized gate instead of an
+    /// exact CCDF evaluation.
+    pub cdf_memo_hits: u64,
+    /// Heap bytes of graph/row/pool buffers carried over from the
+    /// previous batch instead of freshly allocated.
+    pub bytes_reused: usize,
+}
+
+/// A graph built by [`BatchScratch::build`]: views into the scratch's
+/// persistent buffers plus the batch tallies. Borrows the scratch, so
+/// run the matcher over it before the next build.
+#[derive(Debug)]
+pub struct BuiltBatchGraph<'s> {
+    /// The assignment graph (rows follow `workers`, columns `task_ids`).
+    pub graph: &'s BipartiteGraph,
+    /// Row → worker id map, in pool order.
+    pub workers: &'s [WorkerId],
+    /// Column → task id map, in submission order.
+    pub task_ids: &'s [TaskId],
+    /// Edges dropped by the reward-range and Eq. (3) pruning rules.
+    pub pruned: usize,
+    /// Reuse/memoization tallies for this build.
+    pub stats: BuildStats,
+}
+
+/// Incremental assignment-graph builder: the hot-path counterpart to
+/// [`GraphBuilder`] that a [`crate::ReactServer`] keeps alive across
+/// ticks.
+///
+/// Three things persist between batches:
+///
+/// * **Graph arenas** — the edge list, adjacency lists and per-row edge
+///   buffers are [`BipartiteGraph::reset`] and refilled in place, so a
+///   steady-state tick allocates (almost) nothing.
+/// * **Phase-A rows** — each worker's training flag, fitted latency
+///   model and memoized [`EdgeGate`] are cached keyed by the profile
+///   *epoch* ([`WorkerProfile::epoch`]); only workers whose profile
+///   mutated since the last batch are recomputed. A config change clears
+///   the cache wholesale (the snapshot depends on it).
+/// * **Deadline kernel** — the cached gate answers Eq. (3) per edge with
+///   a float compare ([`EdgeGate::classify`]); the rare ambiguous cases
+///   fall back to the exact CCDF evaluation, keeping the built graph
+///   bit-identical to a cold [`GraphBuilder`] pass. Under the
+///   `debug-invariants` feature every build re-runs the cold path and
+///   asserts edge-for-edge equality.
+///
+/// Entries for workers that leave the pool stay cached (epoch checks
+/// keep them correct; re-registration always gets a fresh epoch), so the
+/// cache is bounded by the number of distinct workers ever seen.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Worker → slot in `rows` (slots are stable across batches, so the
+    /// hot loop pays one hash lookup per worker per build).
+    slots: HashMap<WorkerId, u32>,
+    /// Slot-addressed row cache; grows monotonically, entries are
+    /// overwritten in place on epoch mismatch.
+    rows: Vec<CachedRow>,
+    /// This batch's pool, in selection order.
+    pool: Vec<WorkerId>,
+    /// `rows` slot for each pool position (aligned with `pool`).
+    row_idx: Vec<u32>,
+    task_ids: Vec<TaskId>,
+    per_row: Vec<RowScratch>,
+    graph: BipartiteGraph,
+    /// Fingerprint of the config the cache was filled under; any change
+    /// invalidates every cached row.
+    last_config: Option<Config>,
+    /// `Some(n)` pins phase B to `n` threads (1 = serial) regardless of
+    /// the `parallel` feature default — safe because the two paths are
+    /// bit-identical.
+    threads: Option<usize>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins phase B to `threads` worker threads (`Some(1)` = serial,
+    /// `None` = the `parallel` feature's default policy).
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// Drops every cached row (the arenas keep their capacity). The next
+    /// build recomputes all of phase A, exactly like a cold start.
+    pub fn invalidate(&mut self) {
+        self.slots.clear();
+        self.rows.clear();
+        self.last_config = None;
+    }
+
+    /// Heap bytes currently retained by the persistent buffers.
+    pub fn allocated_bytes(&self) -> usize {
+        self.graph.allocated_bytes()
+            + self.pool.capacity() * std::mem::size_of::<WorkerId>()
+            + self.row_idx.capacity() * std::mem::size_of::<u32>()
+            + self.task_ids.capacity() * std::mem::size_of::<TaskId>()
+            + self.per_row.capacity() * std::mem::size_of::<RowScratch>()
+            + self
+                .per_row
+                .iter()
+                .map(|r| r.edges.capacity() * std::mem::size_of::<(u32, f64)>())
+                .sum::<usize>()
+    }
+
+    /// Builds the batch graph incrementally. Semantically identical to
+    /// [`SchedulingComponent::build_graph`] — same pool selection, same
+    /// pruning rules, bit-identical edges — but reusing the scratch's
+    /// buffers and row cache.
+    pub fn build<'s>(
+        &'s mut self,
+        config: &Config,
+        profiling: &mut ProfilingComponent,
+        tasks: &TaskManagementComponent,
+        now: f64,
+    ) -> BuiltBatchGraph<'s> {
+        let bytes_reused = self.allocated_bytes();
+        if self.last_config.as_ref() != Some(config) {
+            self.slots.clear();
+            self.rows.clear();
+            self.last_config = Some(config.clone());
+        }
+
+        // Phase A, incremental: refresh only the rows whose profile
+        // epoch moved since the previous batch.
+        let mut stats = BuildStats {
+            bytes_reused,
+            ..BuildStats::default()
+        };
+        let deadline_model = DeadlineModel::new(config.deadline);
+        let use_model = config.matcher.uses_probabilistic_model();
+        let selected = if config.matcher.uses_availability() {
+            profiling.available_workers()
+        } else {
+            profiling.online_workers()
+        };
+        self.pool.clear();
+        self.row_idx.clear();
+        for wid in selected {
+            // Mirrors GraphBuilder::prepare: a registry miss drops the
+            // row rather than aborting the batch.
+            let Ok(profile) = profiling.profile_mut(wid) else {
+                debug_assert!(false, "pool scan returned unregistered {wid}");
+                continue;
+            };
+            let epoch = profile.epoch();
+            // One hash lookup per worker: the slot is allocated once and
+            // its row is refreshed in place on epoch mismatch.
+            let slot = match self.slots.entry(wid) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = self.rows.len() as u32;
+                    self.rows.push(CachedRow {
+                        // Sentinel epoch: real epochs start at 1, so the
+                        // fresh slot always recomputes below.
+                        epoch: 0,
+                        in_training: true,
+                        model: None,
+                        gate: None,
+                    });
+                    *e.insert(slot)
+                }
+            };
+            let row = &mut self.rows[slot as usize];
+            if row.epoch == epoch && epoch != 0 {
+                stats.rows_reused += 1;
+            } else {
+                let in_training = profile.assignments_served() < config.training_assignments;
+                let model = if use_model && !in_training {
+                    profile.deadline_dist(config.latency_model)
+                } else {
+                    None
+                };
+                let gate = model.as_ref().map(|m| deadline_model.edge_gate(m));
+                *row = CachedRow {
+                    epoch,
+                    in_training,
+                    model,
+                    gate,
+                };
+            }
+            if row.model.is_some() {
+                stats.refits += 1;
+            }
+            self.pool.push(wid);
+            self.row_idx.push(slot);
+        }
+        stats.rows_total = self.pool.len();
+
+        // Task columns (same scan as GraphBuilder::task_rows, but the id
+        // buffer persists across batches).
+        self.task_ids.clear();
+        let unassigned = tasks.unassigned();
+        let mut recs: Vec<&TaskRecord> = Vec::with_capacity(unassigned.len());
+        for &tid in unassigned {
+            let Ok(rec) = tasks.record(tid) else {
+                debug_assert!(false, "unassigned {tid} is not tracked");
+                continue;
+            };
+            self.task_ids.push(tid);
+            recs.push(rec);
+        }
+
+        // Phase B over the persistent per-row buffers.
+        let n = self.pool.len();
+        if self.per_row.len() < n {
+            self.per_row.resize_with(n, RowScratch::default);
+        }
+        for row in &mut self.per_row[..n] {
+            row.edges.clear();
+            row.pruned = 0;
+            row.memo_hits = 0;
+        }
+        let threads = match self.threads {
+            Some(t) => t,
+            #[cfg(feature = "parallel")]
+            None => crate::par::parallelism(),
+            #[cfg(not(feature = "parallel"))]
+            None => 1,
+        };
+        if threads > 1 && n >= PARALLEL_MIN_ROWS {
+            self.fill_rows_parallel(config, &deadline_model, profiling, &recs, now, threads);
+        } else {
+            self.fill_rows_serial(config, &deadline_model, profiling, &recs, now);
+        }
+
+        // Deterministic merge in row order into the reused graph.
+        self.graph.reset(n, self.task_ids.len());
+        let mut pruned = 0usize;
+        for (u, row) in self.per_row[..n].iter().enumerate() {
+            GraphBuilder::push_row(&mut self.graph, u, &row.edges);
+            pruned += row.pruned;
+            stats.cdf_memo_hits += row.memo_hits;
+        }
+
+        #[cfg(feature = "debug-invariants")]
+        {
+            let builder = GraphBuilder::prepare(config, profiling);
+            let (cold, cold_workers, cold_tasks, cold_pruned) =
+                builder.instantiate_serial(profiling, tasks, now);
+            assert_eq!(
+                self.graph.edges(),
+                cold.edges(),
+                "incremental graph diverged from the cold build"
+            );
+            assert_eq!(self.pool, cold_workers, "incremental pool diverged");
+            assert_eq!(self.task_ids, cold_tasks, "incremental columns diverged");
+            assert_eq!(pruned, cold_pruned, "incremental pruning diverged");
+        }
+
+        BuiltBatchGraph {
+            graph: &self.graph,
+            workers: &self.pool,
+            task_ids: &self.task_ids,
+            pruned,
+            stats,
+        }
+    }
+
+    /// Serial phase B over the cached rows.
+    fn fill_rows_serial(
+        &mut self,
+        config: &Config,
+        deadline_model: &DeadlineModel,
+        profiling: &ProfilingComponent,
+        recs: &[&TaskRecord],
+        now: f64,
+    ) {
+        for (u, &wid) in self.pool.iter().enumerate() {
+            let row = &self.rows[self.row_idx[u] as usize];
+            // Mirrors the cold builder: a vanished profile leaves the
+            // row edgeless.
+            let Ok(profile) = profiling.profile(wid) else {
+                debug_assert!(false, "phase-A {wid} vanished from the registry");
+                continue;
+            };
+            Self::row_edges_gated(
+                config,
+                deadline_model,
+                row,
+                profile,
+                recs,
+                now,
+                &mut self.per_row[u],
+            );
+        }
+    }
+
+    /// Phase B over scoped threads, chunked like
+    /// [`GraphBuilder::instantiate_parallel`]; rows land in the same
+    /// per-row buffers, so the merged graph is bit-identical to serial.
+    fn fill_rows_parallel(
+        &mut self,
+        config: &Config,
+        deadline_model: &DeadlineModel,
+        profiling: &ProfilingComponent,
+        recs: &[&TaskRecord],
+        now: f64,
+        threads: usize,
+    ) {
+        let n = self.pool.len();
+        let rows: Vec<&CachedRow> = self
+            .row_idx
+            .iter()
+            .map(|&slot| &self.rows[slot as usize])
+            .collect();
+        let profiles: Vec<Option<&WorkerProfile>> = self
+            .pool
+            .iter()
+            .map(|&wid| profiling.profile(wid).ok())
+            .collect();
+        let chunk = crate::par::chunk_len(n, threads);
+        std::thread::scope(|scope| {
+            let recs = &recs;
+            for ((row_chunk, profile_chunk), out_chunk) in rows
+                .chunks(chunk)
+                .zip(profiles.chunks(chunk))
+                .zip(self.per_row[..n].chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for ((row, profile), out) in row_chunk
+                        .iter()
+                        .zip(profile_chunk.iter())
+                        .zip(out_chunk.iter_mut())
+                    {
+                        let Some(profile) = *profile else {
+                            continue;
+                        };
+                        Self::row_edges_gated(config, deadline_model, row, profile, recs, now, out);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The gated per-row kernel: identical to [`GraphBuilder::row_edges`]
+    /// except that Eq. (3) is answered by the memoized [`EdgeGate`] when
+    /// it can ([`EdgeGate::classify`]), falling back to the exact CCDF
+    /// evaluation on the (provably narrow) ambiguous band.
+    fn row_edges_gated(
+        config: &Config,
+        deadline_model: &DeadlineModel,
+        row: &CachedRow,
+        profile: &WorkerProfile,
+        recs: &[&TaskRecord],
+        now: f64,
+        out: &mut RowScratch,
+    ) {
+        for (v, rec) in recs.iter().enumerate() {
+            if !profile.accepts_reward(rec.task.reward) {
+                out.pruned += 1;
+                continue;
+            }
+            let weight = if row.in_training {
+                1.0
+            } else {
+                config.weight.evaluate(profile, &rec.task)
+            };
+            if let Some(m) = &row.model {
+                let ttd = rec.remaining_time(now);
+                let keep = match row.gate.as_ref().and_then(|g| g.classify(ttd)) {
+                    Some(keep) => {
+                        out.memo_hits += 1;
+                        keep
+                    }
+                    None => deadline_model.should_instantiate_edge(m, ttd),
+                };
+                if !keep {
+                    out.pruned += 1;
+                    continue;
+                }
+            }
+            out.edges.push((v as u32, weight));
         }
     }
 }
@@ -732,6 +1153,104 @@ mod tests {
             assert_eq!(cached.matcher_name, fresh.matcher_name);
         }
         assert_eq!(engine.rebuilds(), 1, "fixed cycles ⇒ one build");
+    }
+
+    /// Seasons a mixed pool (training / seasoned-fast / seasoned-slow /
+    /// reward-constrained) with a mixed task queue so every pruning rule
+    /// fires, then returns the components.
+    fn mixed_setup() -> (Config, ProfilingComponent, TaskManagementComponent) {
+        let config = Config::paper_defaults();
+        let (mut p, mut tm) = setup(40, 12);
+        for w in 0..10 {
+            season_worker(&mut p, WorkerId(w), &[50.0, 80.0, 120.0]);
+        }
+        for w in 10..20 {
+            season_worker(&mut p, WorkerId(w), &[1.0, 1.5, 2.0]);
+        }
+        p.set_reward_range(WorkerId(21), Some((0.5, 2.0))).unwrap();
+        tm.submit(task(100, 8.0), 0.0).unwrap();
+        (config, p, tm)
+    }
+
+    #[test]
+    fn scratch_build_is_bit_identical_to_cold_build() {
+        let (config, mut p, tm) = mixed_setup();
+        let mut scratch = BatchScratch::new();
+        for now in [0.0, 1.0, 5.0] {
+            let (cold, cw, ct, cp) = {
+                let b = GraphBuilder::prepare(&config, &mut p);
+                b.instantiate_serial(&p, &tm, now)
+            };
+            let built = scratch.build(&config, &mut p, &tm, now);
+            assert_eq!(built.graph.edges(), cold.edges(), "now={now}");
+            assert_eq!(built.workers, &cw[..]);
+            assert_eq!(built.task_ids, &ct[..]);
+            assert_eq!(built.pruned, cp);
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_rows_until_profiles_mutate() {
+        let (config, mut p, tm) = mixed_setup();
+        let mut scratch = BatchScratch::new();
+        let first = scratch.build(&config, &mut p, &tm, 0.0).stats;
+        assert_eq!(first.rows_reused, 0, "cold scratch reuses nothing");
+        assert!(first.cdf_memo_hits > 0, "gates should answer most edges");
+        let second = scratch.build(&config, &mut p, &tm, 0.0).stats;
+        assert_eq!(second.rows_reused, second.rows_total, "steady state");
+        assert!(second.bytes_reused > 0, "arenas carry over");
+        // One profile mutation invalidates exactly that row.
+        p.record_completion(WorkerId(5), TaskCategory(0), 60.0, true)
+            .unwrap();
+        let third = scratch.build(&config, &mut p, &tm, 0.0).stats;
+        assert_eq!(third.rows_reused, third.rows_total - 1);
+    }
+
+    #[test]
+    fn scratch_config_change_invalidates_every_row() {
+        let (config, mut p, tm) = mixed_setup();
+        let mut scratch = BatchScratch::new();
+        scratch.build(&config, &mut p, &tm, 0.0);
+        let mut config2 = config.clone();
+        config2.training_assignments += 1;
+        let stats = scratch.build(&config2, &mut p, &tm, 0.0).stats;
+        assert_eq!(stats.rows_reused, 0, "new config ⇒ full recompute");
+        let stats = scratch.build(&config2, &mut p, &tm, 0.0).stats;
+        assert_eq!(stats.rows_reused, stats.rows_total);
+    }
+
+    #[test]
+    fn scratch_parallel_fill_matches_serial_fill() {
+        let (config, mut p, tm) = mixed_setup();
+        let mut serial = BatchScratch::new();
+        serial.set_threads(Some(1));
+        let (edges, pruned) = {
+            let built = serial.build(&config, &mut p, &tm, 0.0);
+            (built.graph.edges().to_vec(), built.pruned)
+        };
+        for threads in [2, 3, 8] {
+            let mut par = BatchScratch::new();
+            par.set_threads(Some(threads));
+            let built = par.build(&config, &mut p, &tm, 0.0);
+            assert_eq!(built.graph.edges(), &edges[..], "threads={threads}");
+            assert_eq!(built.pruned, pruned);
+        }
+    }
+
+    #[test]
+    fn scratch_handles_worker_churn() {
+        let (config, mut p, tm) = mixed_setup();
+        let mut scratch = BatchScratch::new();
+        scratch.build(&config, &mut p, &tm, 0.0);
+        // Deregister a cached worker, then re-register them cold: the
+        // fresh epoch must not collide with the cached one.
+        p.deregister(WorkerId(12)).unwrap();
+        let built = scratch.build(&config, &mut p, &tm, 0.0);
+        assert!(!built.workers.contains(&WorkerId(12)));
+        p.register(WorkerId(12), here()).unwrap();
+        let built = scratch.build(&config, &mut p, &tm, 0.0);
+        let (cold, ..) = SchedulingComponent::build_graph(&config, &mut p, &tm, 0.0);
+        assert_eq!(built.graph.edges(), cold.edges());
     }
 
     #[test]

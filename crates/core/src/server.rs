@@ -20,13 +20,13 @@ use crate::error::CoreError;
 use crate::events::{AuditLog, TaskEventKind};
 use crate::ids::{TaskId, WorkerId};
 use crate::profiling::{Availability, ProfilingComponent};
-use crate::scheduling::{BatchResult, GraphBuilder, SchedulingComponent};
+use crate::scheduling::{BatchResult, BatchScratch, SchedulingComponent};
 use crate::task::Task;
 use crate::task_mgmt::TaskManagementComponent;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_geo::GeoPoint;
-use react_matching::{BipartiteGraph, CostModel, MatcherEngine};
+use react_matching::{CostModel, MatcherEngine};
 use react_obs::{null_observer, CounterKind, HistogramKind, ObserverHandle, SpanKind, SpanTimer};
 use std::collections::HashMap;
 
@@ -234,6 +234,9 @@ pub struct ReactServer {
     /// Consecutive progress timeouts per worker since their last
     /// completion (the suspicion ladder's strike counter).
     timeout_strikes: HashMap<WorkerId, u32>,
+    /// Incremental graph builder: persistent arenas + epoch-keyed row
+    /// cache reused across batches (see [`BatchScratch`]).
+    scratch: BatchScratch,
 }
 
 impl ReactServer {
@@ -270,6 +273,7 @@ impl ReactServer {
             audit,
             observer,
             timeout_strikes: HashMap::new(),
+            scratch: BatchScratch::new(),
         }
     }
 
@@ -399,7 +403,6 @@ impl ReactServer {
         let held: Vec<TaskId> = self
             .tasks
             .assigned()
-            .into_iter()
             .filter(|&(_, w)| w == id)
             .map(|(t, _)| t)
             .collect();
@@ -458,12 +461,45 @@ impl ReactServer {
         outcome.stage_timings.recall = t.finish(self.observer.as_ref(), SpanKind::StageRecall);
 
         if self.batch_due(now) {
+            // Stage 3: incremental two-phase graph construction through
+            // the persistent scratch. Inlined (rather than a &mut self
+            // helper) because the built graph borrows the scratch while
+            // the matcher runs over the sibling fields.
             let t = SpanTimer::start();
-            let (graph, workers, task_ids, pruned) = self.stage_build(now);
+            let built = self
+                .scratch
+                .build(&self.config, &mut self.profiling, &self.tasks, now);
+            if enabled {
+                let obs = self.observer.as_ref();
+                let stats = built.stats;
+                if stats.refits > 0 {
+                    obs.incr(CounterKind::ProfileRefits, stats.refits as u64);
+                }
+                if stats.rows_reused > 0 {
+                    obs.incr(CounterKind::BuildRowsReused, stats.rows_reused as u64);
+                }
+                if stats.cdf_memo_hits > 0 {
+                    obs.incr(CounterKind::BuildCdfMemoHits, stats.cdf_memo_hits);
+                }
+                if stats.bytes_reused > 0 {
+                    obs.incr(CounterKind::ScratchBytesReused, stats.bytes_reused as u64);
+                }
+            }
             outcome.stage_timings.build = t.finish(self.observer.as_ref(), SpanKind::StageBuild);
 
+            // Stage 4: matching over the built graph through the cached
+            // engine.
             let t = SpanTimer::start();
-            let batch = self.stage_match(&graph, &workers, &task_ids, pruned);
+            let batch = SchedulingComponent::match_built(
+                &self.config,
+                &mut self.engine,
+                built.graph,
+                built.workers,
+                built.task_ids,
+                built.pruned,
+                self.tasks.open_count(),
+                &mut self.rng,
+            );
             outcome.stage_timings.matching = t.finish(self.observer.as_ref(), SpanKind::StageMatch);
 
             let t = SpanTimer::start();
@@ -547,7 +583,10 @@ impl ReactServer {
         };
         let mut timeout_recalls = 0u64;
         let mut suspected = 0u64;
-        for (task, worker) in self.tasks.assigned() {
+        // Collected up front: the loop body recalls tasks, which mutates
+        // the assigned index the iterator would otherwise borrow.
+        let in_flight: Vec<(TaskId, WorkerId)> = self.tasks.assigned().collect();
+        for (task, worker) in in_flight {
             let Ok(rec) = self.tasks.record(task) else {
                 continue; // assigned ids are always tracked
             };
@@ -618,38 +657,12 @@ impl ReactServer {
                 .should_fire(self.tasks.unassigned_count(), now - self.last_batch_at)
     }
 
-    /// Pipeline stage 3: two-phase graph construction.
-    fn stage_build(&mut self, now: f64) -> (BipartiteGraph, Vec<WorkerId>, Vec<TaskId>, usize) {
-        let builder = GraphBuilder::prepare(&self.config, &mut self.profiling);
-        if self.observer.enabled() {
-            let refits = builder.rows().iter().filter(|r| r.model.is_some()).count();
-            if refits > 0 {
-                self.observer
-                    .incr(CounterKind::ProfileRefits, refits as u64);
-            }
-        }
-        builder.instantiate(&self.profiling, &self.tasks, now)
-    }
-
-    /// Pipeline stage 4: matching over the built graph through the
-    /// cached engine.
-    fn stage_match(
-        &mut self,
-        graph: &BipartiteGraph,
-        workers: &[WorkerId],
-        task_ids: &[TaskId],
-        pruned: usize,
-    ) -> BatchResult {
-        SchedulingComponent::match_built(
-            &self.config,
-            &mut self.engine,
-            graph,
-            workers,
-            task_ids,
-            pruned,
-            self.tasks.open_count(),
-            &mut self.rng,
-        )
+    /// Pins the graph-build phase B to a fixed thread count
+    /// (`Some(1)` = always serial, `None` = the `parallel` feature's
+    /// default policy). Safe to flip at any point: the serial and
+    /// parallel paths produce bit-identical graphs.
+    pub fn set_build_parallelism(&mut self, threads: Option<usize>) {
+        self.scratch.set_threads(threads);
     }
 
     /// Pipeline stage 5: apply the batch — charge the modelled matching

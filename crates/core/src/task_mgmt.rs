@@ -9,7 +9,7 @@
 use crate::error::CoreError;
 use crate::ids::{TaskId, WorkerId};
 use crate::task::{Task, TaskState};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A tracked task: description + dynamic state.
 #[derive(Debug, Clone)]
@@ -61,6 +61,10 @@ pub struct TaskManagementComponent {
     /// Unassigned tasks in submission/recall order (deterministic
     /// scheduling input).
     unassigned: Vec<TaskId>,
+    /// In-flight tasks, maintained incrementally alongside `tasks` so
+    /// the per-tick recall scan iterates a sorted index instead of
+    /// filtering and sorting the whole registry into a fresh `Vec`.
+    assigned_index: BTreeMap<TaskId, WorkerId>,
 }
 
 impl TaskManagementComponent {
@@ -118,18 +122,45 @@ impl TaskManagementComponent {
     /// changes only when new tasks arrive or executing tasks finish"*),
     /// which is what the scheduler's compute cost scales with.
     pub fn open_count(&self) -> usize {
-        self.tasks.values().filter(|r| r.state.is_open()).count()
+        self.debug_validate_assigned_index();
+        self.unassigned.len() + self.assigned_index.len()
     }
 
-    /// All currently assigned task ids with their workers.
-    pub fn assigned(&self) -> Vec<(TaskId, WorkerId)> {
-        let mut v: Vec<(TaskId, WorkerId)> = self
-            .tasks
-            .values()
-            .filter_map(|r| r.state.assigned_worker().map(|w| (r.task.id, w)))
-            .collect();
-        v.sort();
-        v
+    /// All currently assigned task ids with their workers, in ascending
+    /// task-id order (the order the old `Vec`-returning variant sorted
+    /// into). Iterates the maintained index — no allocation.
+    pub fn assigned(&self) -> impl Iterator<Item = (TaskId, WorkerId)> + '_ {
+        self.debug_validate_assigned_index();
+        self.assigned_index.iter().map(|(&t, &w)| (t, w))
+    }
+
+    /// Number of in-flight (assigned) tasks.
+    pub fn assigned_count(&self) -> usize {
+        self.assigned_index.len()
+    }
+
+    /// Under `debug-invariants`, re-derives the assigned index from the
+    /// task registry and asserts the incremental bookkeeping matches.
+    #[inline]
+    fn debug_validate_assigned_index(&self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            let derived: BTreeMap<TaskId, WorkerId> = self
+                .tasks
+                .values()
+                .filter_map(|r| r.state.assigned_worker().map(|w| (r.task.id, w)))
+                .collect();
+            assert_eq!(
+                derived, self.assigned_index,
+                "assigned index diverged from task states"
+            );
+            let open = self.tasks.values().filter(|r| r.state.is_open()).count();
+            assert_eq!(
+                open,
+                self.unassigned.len() + self.assigned_index.len(),
+                "open tasks must be exactly unassigned + assigned"
+            );
+        }
     }
 
     /// Marks `id` assigned to `worker` at `now`.
@@ -146,6 +177,7 @@ impl TaskManagementComponent {
         };
         rec.assignment_count += 1;
         self.unassigned.retain(|&t| t != id);
+        self.assigned_index.insert(id, worker);
         Ok(())
     }
 
@@ -157,6 +189,7 @@ impl TaskManagementComponent {
             TaskState::Assigned { worker, .. } => {
                 rec.state = TaskState::Unassigned;
                 self.unassigned.push(id);
+                self.assigned_index.remove(&id);
                 Ok(worker)
             }
             _ => Err(CoreError::NotAssigned {
@@ -178,6 +211,7 @@ impl TaskManagementComponent {
                     completed_at: now,
                     met_deadline,
                 };
+                self.assigned_index.remove(&id);
                 Ok(met_deadline)
             }
             _ => Err(CoreError::NotAssigned { task: id, worker }),
@@ -293,7 +327,11 @@ mod tests {
         // TTD = (10+60) − 15 = 55.
         assert_eq!(rec.time_to_deadline(), Some(55.0));
         assert_eq!(rec.elapsed_since_assignment(20.0), Some(5.0));
-        assert_eq!(tm.assigned(), vec![(TaskId(1), WorkerId(4))]);
+        assert_eq!(
+            tm.assigned().collect::<Vec<_>>(),
+            vec![(TaskId(1), WorkerId(4))]
+        );
+        assert_eq!(tm.assigned_count(), 1);
         // Complete before the deadline.
         let met = tm.complete(TaskId(1), WorkerId(4), 30.0).unwrap();
         assert!(met);

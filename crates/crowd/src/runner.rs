@@ -458,7 +458,7 @@ impl ScenarioRunner {
                     let workload_done =
                         (report.received - report.faults.burst_tasks) as usize >= total_tasks * k;
                     let tasks_open = server.tasks().unassigned_count() > 0
-                        || !server.tasks().assigned().is_empty();
+                        || server.tasks().assigned_count() > 0;
                     let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
                     if (!workload_done || tasks_open) && !past_horizon {
                         sim.schedule_in(SimDuration::from_secs(sc.tick_interval), Event::Tick);
@@ -579,7 +579,7 @@ impl ScenarioRunner {
         // Anything still open at the horizon is a miss that never even
         // completed; count queued leftovers as expired-unassigned.
         report.expired_unassigned += server.tasks().unassigned_count() as u64;
-        report.faults.stranded = server.tasks().assigned().len() as u64;
+        report.faults.stranded = server.tasks().assigned_count() as u64;
         if self.observer.enabled() {
             for (kind, by) in [
                 (CounterKind::FaultDropouts, report.faults.dropouts),

@@ -108,6 +108,42 @@ impl BipartiteGraph {
         }
     }
 
+    /// Re-dimensions the graph to `n_workers × n_tasks` and drops all
+    /// edges while keeping the edge arena's and the surviving adjacency
+    /// lists' allocations, so a scratch graph reused across scheduling
+    /// batches stops allocating once it reaches steady-state size.
+    pub fn reset(&mut self, n_workers: usize, n_tasks: usize) {
+        self.edges.clear();
+        self.worker_adj.truncate(n_workers);
+        for adj in &mut self.worker_adj {
+            adj.clear();
+        }
+        self.worker_adj.resize_with(n_workers, Vec::new);
+        self.task_adj.truncate(n_tasks);
+        for adj in &mut self.task_adj {
+            adj.clear();
+        }
+        self.task_adj.resize_with(n_tasks, Vec::new);
+        self.n_workers = n_workers;
+        self.n_tasks = n_tasks;
+    }
+
+    /// Heap bytes currently reserved by the edge arena and adjacency
+    /// lists — the capacity a [`BipartiteGraph::reset`]-based reuse cycle
+    /// retains instead of reallocating.
+    pub fn allocated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.edges.capacity() * size_of::<Edge>()
+            + self.worker_adj.capacity() * size_of::<Vec<EdgeId>>()
+            + self.task_adj.capacity() * size_of::<Vec<EdgeId>>()
+            + self
+                .worker_adj
+                .iter()
+                .chain(self.task_adj.iter())
+                .map(|adj| adj.capacity() * size_of::<EdgeId>())
+                .sum::<usize>()
+    }
+
     /// Builds the *complete* bipartite graph with weights produced by
     /// `weight(worker, task)` — the paper's Fig. 3/4 worst case where
     /// every task is connected to every worker.
@@ -365,6 +401,32 @@ mod tests {
         }
         let e = g.find_edge(WorkerIdx(2), TaskIdx(3)).unwrap();
         assert!((g.edge(e).weight - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_redimensions_and_keeps_capacity() {
+        let mut g = BipartiteGraph::full(4, 5, |u, v| (u.0 + v.0) as f64 / 10.0).unwrap();
+        let bytes_before = g.allocated_bytes();
+        assert!(bytes_before > 0);
+        g.reset(3, 2);
+        assert_eq!(g.n_workers(), 3);
+        assert_eq!(g.n_tasks(), 2);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.worker_edges(WorkerIdx(2)).is_empty());
+        assert!(g.task_edges(TaskIdx(1)).is_empty());
+        // The edge arena's capacity survives the reset.
+        assert!(g.allocated_bytes() > 0);
+        // The reset graph behaves like a freshly constructed one.
+        let e = g.add_edge(WorkerIdx(2), TaskIdx(1), 0.5).unwrap();
+        assert_eq!(g.find_edge(WorkerIdx(2), TaskIdx(1)), Some(e));
+        assert!(matches!(
+            g.add_edge(WorkerIdx(3), TaskIdx(0), 0.5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        // Growing back re-dimensions correctly too.
+        g.reset(6, 6);
+        assert_eq!(g.n_workers(), 6);
+        assert!(g.add_edge(WorkerIdx(5), TaskIdx(5), 0.1).is_ok());
     }
 
     #[test]

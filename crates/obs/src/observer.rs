@@ -69,6 +69,15 @@ pub enum CounterKind {
     MatcherRebuilds,
     /// Worker latency profiles refit during graph build.
     ProfileRefits,
+    /// Graph-build rows served from the batch scratch's phase-A cache
+    /// (profile epoch unchanged since the previous batch).
+    BuildRowsReused,
+    /// Eq.(3) edge decisions answered by the memoized deadline gate
+    /// instead of an exact CCDF evaluation.
+    BuildCdfMemoHits,
+    /// Heap bytes of graph/row buffers carried over from the previous
+    /// batch instead of freshly allocated.
+    ScratchBytesReused,
     /// Regions executed by `MultiRegionRunner`.
     RegionsRun,
     /// Tasks completed by workers.
@@ -112,6 +121,9 @@ impl CounterKind {
             CounterKind::ConflictsResolved => "matcher.conflicts_resolved",
             CounterKind::MatcherRebuilds => "matcher.rebuilds",
             CounterKind::ProfileRefits => "profile.refits",
+            CounterKind::BuildRowsReused => "build.rows_reused",
+            CounterKind::BuildCdfMemoHits => "build.cdf_memo_hits",
+            CounterKind::ScratchBytesReused => "scratch.bytes_reused",
             CounterKind::RegionsRun => "regions.run",
             CounterKind::TasksCompleted => "tasks.completed",
             CounterKind::DeadlinesMet => "deadlines.met",
@@ -245,6 +257,9 @@ mod tests {
             CounterKind::ConflictsResolved,
             CounterKind::MatcherRebuilds,
             CounterKind::ProfileRefits,
+            CounterKind::BuildRowsReused,
+            CounterKind::BuildCdfMemoHits,
+            CounterKind::ScratchBytesReused,
             CounterKind::RegionsRun,
             CounterKind::TasksCompleted,
             CounterKind::DeadlinesMet,

@@ -17,7 +17,7 @@
 //!   When this drops below a threshold (10 % in the paper's evaluation)
 //!   the task is pulled back from the worker and reassigned.
 
-use crate::empirical::LatencyCcdf;
+use crate::empirical::{FittedModel, LatencyCcdf};
 
 /// Thresholds driving the two deadline decisions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +139,65 @@ impl DeadlineModel {
         self.pr_complete_before(model, time_to_deadline) > self.config.edge_probability_threshold
     }
 
+    /// Inverts Eq. (3) into a memoized per-model [`EdgeGate`], so the
+    /// per-edge [`DeadlineModel::should_instantiate_edge`] `powf` becomes
+    /// a float compare on the graph-build hot path.
+    ///
+    /// The CCDF is monotone non-increasing in TTD, so the edge predicate
+    /// `1 − P(TTD) > θ` flips exactly once, at the critical threshold
+    /// `ttd* = quantile(θ) = k_min · (1 − θ)^{−1/(α−1)}` for the power
+    /// law. To keep the fast path *bit-identical* to the exact `powf`
+    /// evaluation, the power-law gate is a conservative bracket around
+    /// `ttd*`: decisions outside the bracket are provably on the same
+    /// side as the exact predicate (the bracket's relative margin dwarfs
+    /// `powf`'s few-ULP error), and the rare TTD inside it falls back to
+    /// the exact evaluation. Step CCDFs invert exactly, with no bracket.
+    pub fn edge_gate(&self, model: &FittedModel) -> EdgeGate {
+        let theta = self.config.edge_probability_threshold;
+        // Pr is clamped to [0, 1]: a threshold ≥ 1 can never be exceeded,
+        // and anything non-finite or negative is left to the exact path.
+        if !(0.0..1.0).contains(&theta) {
+            return if theta >= 1.0 {
+                EdgeGate::Never
+            } else {
+                EdgeGate::Exact
+            };
+        }
+        match model {
+            FittedModel::PowerLaw(pl) => {
+                let ttd_star = pl.quantile(theta);
+                // Relative half-width of the exact-fallback band: wide
+                // enough that a fast-path decision differs from the true
+                // predicate value by ≥ (α−1)·rel relative in CCDF space,
+                // orders of magnitude beyond powf's rounding error.
+                let rel = (1e-10 / (pl.alpha() - 1.0)).max(1e-6);
+                if !ttd_star.is_finite() || rel >= 1.0 {
+                    return EdgeGate::Exact;
+                }
+                EdgeGate::Bracket {
+                    lo: ttd_star * (1.0 - rel),
+                    hi: ttd_star * (1.0 + rel),
+                }
+            }
+            FittedModel::Empirical(emp) => {
+                // Pr(TTD) steps only at sample values: find the minimal
+                // count `c` of samples strictly below TTD whose
+                // probability — computed through the exact float chain the
+                // slow path uses — clears the threshold. The edge then
+                // instantiates iff TTD exceeds the c-th smallest sample.
+                let sorted = emp.sorted_samples();
+                let n = sorted.len() as f64;
+                for (c, &cut) in sorted.iter().enumerate() {
+                    let pr = (1.0 - (1.0 - (c + 1) as f64 / n)).clamp(0.0, 1.0);
+                    if pr > theta {
+                        return EdgeGate::Above { cut };
+                    }
+                }
+                EdgeGate::Never
+            }
+        }
+    }
+
     /// In-flight rule: given the elapsed time on the current worker,
     /// decide whether to keep or reassign the task.
     pub fn check_in_flight<M: LatencyCcdf + ?Sized>(
@@ -156,9 +215,68 @@ impl DeadlineModel {
     }
 }
 
+/// Memoized inversion of the Eq. (3) edge predicate for one fitted model
+/// at one threshold (see [`DeadlineModel::edge_gate`]).
+///
+/// [`EdgeGate::classify`] answers most TTDs with a compare; `None` means
+/// the caller must evaluate [`DeadlineModel::should_instantiate_edge`]
+/// exactly. Every `Some` answer is guaranteed to equal what the exact
+/// evaluation would have returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeGate {
+    /// No fast path: evaluate Eq. (3) exactly for every TTD.
+    Exact,
+    /// No finite TTD clears the threshold.
+    Never,
+    /// Instantiate iff `ttd > cut` (and `ttd > 0`): the exact inversion
+    /// of a step CCDF.
+    Above {
+        /// The critical sample value the TTD must exceed.
+        cut: f64,
+    },
+    /// Fast decision outside `[lo, hi]`; inside the band, Eq. (3)
+    /// decides (the band brackets the analytic critical point `ttd*`).
+    Bracket {
+        /// Below this the edge is certainly pruned.
+        lo: f64,
+        /// Above this the edge is certainly instantiated.
+        hi: f64,
+    },
+}
+
+impl EdgeGate {
+    /// Fast-path decision for a time-to-deadline; `None` requests the
+    /// exact Eq. (3) evaluation (NaN TTDs also land here and resolve to
+    /// "prune" through the exact path).
+    #[inline]
+    pub fn classify(&self, ttd: f64) -> Option<bool> {
+        match *self {
+            EdgeGate::Exact => None,
+            EdgeGate::Never => Some(false),
+            EdgeGate::Above { cut } => {
+                if ttd.is_nan() {
+                    None
+                } else {
+                    Some(ttd > 0.0 && ttd > cut)
+                }
+            }
+            EdgeGate::Bracket { lo, hi } => {
+                if ttd > hi {
+                    Some(true)
+                } else if ttd < lo {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::empirical::EmpiricalDist;
     use crate::powerlaw::PowerLaw;
 
     fn model() -> PowerLaw {
@@ -266,5 +384,81 @@ mod tests {
         let cfg = DeadlineModelConfig::default();
         assert_eq!(cfg.reassign_threshold, 0.1);
         assert_eq!(cfg.edge_probability_threshold, 0.1);
+    }
+
+    /// Every `Some` answer from the gate must equal the exact Eq. (3)
+    /// evaluation — the bit-identity contract the incremental scheduler
+    /// relies on.
+    fn assert_gate_agrees(dm: &DeadlineModel, model: &FittedModel, ttds: &[f64]) {
+        let gate = dm.edge_gate(model);
+        for &ttd in ttds {
+            let exact = dm.should_instantiate_edge(model, ttd);
+            if let Some(fast) = gate.classify(ttd) {
+                assert_eq!(fast, exact, "gate {gate:?} disagrees at ttd={ttd}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_gate_matches_exact_powerlaw() {
+        for theta in [0.0, 0.1, 0.5, 0.9, 0.999] {
+            let dm = DeadlineModel::new(DeadlineModelConfig {
+                edge_probability_threshold: theta,
+                reassign_threshold: 0.1,
+            });
+            for (alpha, k_min) in [(2.0, 5.0), (1.01, 1.0), (64.0, 0.3)] {
+                let pl = PowerLaw::new(alpha, k_min).unwrap();
+                let ttd_star = pl.quantile(theta.min(0.999_999));
+                let m = FittedModel::PowerLaw(pl);
+                // Dense grid including the critical point's neighbourhood.
+                let mut ttds = vec![-1.0, 0.0, k_min * 0.5, k_min, f64::NAN];
+                for i in 0..200 {
+                    ttds.push(ttd_star * (0.9 + 0.001 * i as f64));
+                    ttds.push(k_min * (0.1 + 0.05 * i as f64));
+                }
+                assert_gate_agrees(&dm, &m, &ttds);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_gate_matches_exact_empirical() {
+        let samples = [3.0, 3.0, 7.0, 12.0, 20.0];
+        let emp = EmpiricalDist::from_samples(&samples).unwrap();
+        let m = FittedModel::Empirical(emp);
+        for theta in [0.0, 0.1, 0.19, 0.2, 0.5, 0.79, 0.8, 0.99] {
+            let dm = DeadlineModel::new(DeadlineModelConfig {
+                edge_probability_threshold: theta,
+                reassign_threshold: 0.1,
+            });
+            let mut ttds = vec![-1.0, 0.0, f64::NAN];
+            for i in 0..500 {
+                ttds.push(i as f64 * 0.05);
+            }
+            // The steps themselves, and values straddling each step.
+            for &s in &samples {
+                ttds.extend([s, s - 1e-9, s + 1e-9]);
+            }
+            let gate = dm.edge_gate(&m);
+            // Step CCDFs invert exactly: no TTD may fall back.
+            for &ttd in &ttds {
+                if !ttd.is_nan() {
+                    assert!(gate.classify(ttd).is_some(), "fallback at ttd={ttd}");
+                }
+            }
+            assert_gate_agrees(&dm, &m, &ttds);
+        }
+    }
+
+    #[test]
+    fn edge_gate_threshold_one_never_fires() {
+        let dm = DeadlineModel::new(DeadlineModelConfig {
+            edge_probability_threshold: 1.0,
+            reassign_threshold: 0.1,
+        });
+        let m = FittedModel::PowerLaw(model());
+        assert_eq!(dm.edge_gate(&m), EdgeGate::Never);
+        assert_eq!(dm.edge_gate(&m).classify(1e12), Some(false));
+        assert!(!dm.should_instantiate_edge(&m, 1e12));
     }
 }

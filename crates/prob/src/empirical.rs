@@ -67,6 +67,11 @@ impl EmpiricalDist {
         let below = self.sorted.partition_point(|&s| s < k);
         below as f64 / self.sorted.len() as f64
     }
+
+    /// The samples in ascending order (the step positions of the CCDF).
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
 }
 
 impl LatencyCcdf for EmpiricalDist {

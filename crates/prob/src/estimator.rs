@@ -47,6 +47,9 @@ pub struct ExecTimeEstimator {
     /// Cached fit; cleared whenever `samples` changes.
     cached: Option<PowerLaw>,
     dirty: bool,
+    /// Reused by the KS goodness-of-fit check in [`Self::auto_model`] so
+    /// every refit does not allocate and sort a fresh sample copy.
+    ks_scratch: Vec<f64>,
 }
 
 impl ExecTimeEstimator {
@@ -57,6 +60,7 @@ impl ExecTimeEstimator {
             samples: Vec::new(),
             cached: None,
             dirty: false,
+            ks_scratch: Vec::new(),
         }
     }
 
@@ -155,7 +159,7 @@ impl ExecTimeEstimator {
     /// the distribution-free CCDF instead of a badly-fitted tail.
     pub fn auto_model(&mut self, ks_threshold: f64) -> Option<FittedModel> {
         let model = self.model()?;
-        if model.ks_statistic(&self.samples) <= ks_threshold {
+        if model.ks_statistic_with(&self.samples, &mut self.ks_scratch) <= ks_threshold {
             Some(FittedModel::PowerLaw(model))
         } else {
             self.empirical().map(FittedModel::Empirical)

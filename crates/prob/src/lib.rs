@@ -32,7 +32,7 @@ pub mod estimator;
 pub mod powerlaw;
 pub mod stats;
 
-pub use deadline::{DeadlineDecision, DeadlineModel, DeadlineModelConfig};
+pub use deadline::{DeadlineDecision, DeadlineModel, DeadlineModelConfig, EdgeGate};
 pub use empirical::{EmpiricalDist, FittedModel, LatencyCcdf};
 pub use estimator::{EstimatorConfig, ExecTimeEstimator};
 pub use powerlaw::{FitMethod, PowerLaw, PowerLawError};

@@ -85,6 +85,9 @@ pub enum FitMethod {
 pub struct PowerLaw {
     alpha: f64,
     k_min: f64,
+    /// Cached `−1/(α−1)`: the exponent shared by [`PowerLaw::quantile`]
+    /// and inverse-transform sampling, computed once at construction.
+    inv_exp: f64,
 }
 
 impl PowerLaw {
@@ -97,7 +100,11 @@ impl PowerLaw {
         if k_min <= 0.0 || !k_min.is_finite() {
             return Err(PowerLawError::InvalidKMin(k_min));
         }
-        Ok(PowerLaw { alpha, k_min })
+        Ok(PowerLaw {
+            alpha,
+            k_min,
+            inv_exp: -1.0 / (alpha - 1.0),
+        })
     }
 
     /// The scaling exponent `α`.
@@ -148,7 +155,7 @@ impl PowerLaw {
     /// The `q`-quantile (`0 ≤ q < 1`): the value `k` with `cdf(k) = q`.
     pub fn quantile(&self, q: f64) -> f64 {
         debug_assert!((0.0..1.0).contains(&q));
-        self.k_min * (1.0 - q).powf(-1.0 / (self.alpha - 1.0))
+        self.k_min * (1.0 - q).powf(self.inv_exp)
     }
 
     /// Median of the distribution.
@@ -161,7 +168,7 @@ impl PowerLaw {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // `gen::<f64>()` yields [0,1); flip to (0,1] so the power is finite.
         let u = 1.0 - rng.gen::<f64>();
-        self.k_min * u.powf(-1.0 / (self.alpha - 1.0))
+        self.k_min * u.powf(self.inv_exp)
     }
 
     /// Draws `n` samples into a fresh vector.
@@ -220,18 +227,23 @@ impl PowerLaw {
     /// empirical CDF of `samples` (only samples ≥ `k_min` are compared).
     /// Smaller is a better fit.
     pub fn ks_statistic(&self, samples: &[f64]) -> f64 {
-        let mut xs: Vec<f64> = samples
-            .iter()
-            .copied()
-            .filter(|&s| s >= self.k_min)
-            .collect();
-        if xs.is_empty() {
+        self.ks_statistic_with(samples, &mut Vec::new())
+    }
+
+    /// [`PowerLaw::ks_statistic`] with a caller-owned scratch buffer, so
+    /// repeated goodness-of-fit checks (the auto-`k_min` refit loop runs
+    /// one per refit) reuse a single allocation instead of building a
+    /// fresh filtered copy of the sample set every call.
+    pub fn ks_statistic_with(&self, samples: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        scratch.clear();
+        scratch.extend(samples.iter().copied().filter(|&s| s >= self.k_min));
+        if scratch.is_empty() {
             return 1.0;
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let n = xs.len() as f64;
+        scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let n = scratch.len() as f64;
         let mut d = 0.0f64;
-        for (i, &x) in xs.iter().enumerate() {
+        for (i, &x) in scratch.iter().enumerate() {
             let model = self.cdf(x);
             let emp_lo = i as f64 / n;
             let emp_hi = (i + 1) as f64 / n;
@@ -426,6 +438,32 @@ mod tests {
         // A very different distribution should fit much worse.
         let wrong = PowerLaw::new(5.0, 1.0).unwrap();
         assert!(wrong.ks_statistic(&samples) > 5.0 * d);
+    }
+
+    #[test]
+    fn ks_statistic_with_scratch_matches_allocating_variant() {
+        let truth = PowerLaw::new(2.3, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let samples = truth.sample_n(&mut rng, 2_000);
+        let mut scratch = Vec::new();
+        for alpha in [1.5, 2.3, 4.0] {
+            let pl = PowerLaw::new(alpha, 1.0).unwrap();
+            let direct = pl.ks_statistic(&samples);
+            let via_scratch = pl.ks_statistic_with(&samples, &mut scratch);
+            assert_eq!(direct.to_bits(), via_scratch.to_bits(), "α={alpha}");
+        }
+        // Below-k_min-only input still reports the worst statistic.
+        let pl = PowerLaw::new(2.0, 10.0).unwrap();
+        assert_eq!(pl.ks_statistic_with(&[1.0, 2.0], &mut scratch), 1.0);
+    }
+
+    #[test]
+    fn cached_exponent_matches_direct_computation() {
+        let pl = PowerLaw::new(2.7, 1.3).unwrap();
+        for q in [0.0f64, 0.1, 0.5, 0.99] {
+            let direct = 1.3 * (1.0 - q).powf(-1.0 / (2.7f64 - 1.0));
+            assert_eq!(pl.quantile(q).to_bits(), direct.to_bits(), "q={q}");
+        }
     }
 
     #[test]

@@ -399,7 +399,7 @@ impl LiveRuntime {
 
             let drained = requester_done && task_rx.is_empty();
             let idle =
-                server.tasks().unassigned_count() == 0 && server.tasks().assigned().is_empty();
+                server.tasks().unassigned_count() == 0 && server.tasks().assigned_count() == 0;
             if drained && idle {
                 break;
             }

@@ -123,7 +123,7 @@ proptest! {
             }
 
             // Cross-check the server against the reference model.
-            let assigned = server.tasks().assigned();
+            let assigned: Vec<_> = server.tasks().assigned().collect();
             prop_assert_eq!(assigned.len(), live.len(), "assignment count mismatch");
             for (task, worker) in &assigned {
                 prop_assert_eq!(live.get(task), Some(worker), "assignment map diverged");
