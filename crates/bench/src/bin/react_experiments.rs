@@ -12,6 +12,7 @@
 //!   case            CrowdFlower case-study statistics
 //!   ablation        all design-choice ablations
 //!   chaos           fault-injection sweep (deadline misses + recovery latency)
+//!   cluster         sharded cluster-mode scaling sweep (BENCH_cluster.json)
 //!   all             everything above (default)
 //!
 //! OPTIONS
@@ -27,7 +28,8 @@
 //! minutes, `--quick` a few seconds.
 
 use react_bench::{
-    ablation, casestudy, chaos, endtoend, fig34, hotpath, regions, report::OutputSink, sweep,
+    ablation, casestudy, chaos, cluster, endtoend, fig34, hotpath, regions, report::OutputSink,
+    sweep,
 };
 use std::process::ExitCode;
 
@@ -77,7 +79,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 const USAGE: &str = "usage: react-experiments \
-[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|hotpath|case|ablation|chaos|all] \
+[fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|regions|hotpath|case|ablation|chaos|cluster|all] \
 [--quick] [--seed N] [--out DIR] [--no-csv] [--observe]";
 
 fn run_fig34(cli: &Cli) {
@@ -147,6 +149,22 @@ fn run_hotpath(cli: &Cli) {
     }
 }
 
+fn run_cluster(cli: &Cli) {
+    let mut params = if cli.quick {
+        cluster::ClusterParams::quick()
+    } else {
+        cluster::ClusterParams::default()
+    };
+    params.seed = cli.seed;
+    let report = cluster::run(&params, cli.quick);
+    println!("{}", cluster::render(&report, &cli.sink));
+    let path = cluster::default_json_path();
+    match cluster::write_json(&report, &path) {
+        Ok(()) => println!("# JSON → {}", path.display()),
+        Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+    }
+}
+
 fn run_chaos(cli: &Cli) {
     let mut params = if cli.quick {
         chaos::ChaosParams::quick()
@@ -205,6 +223,7 @@ fn main() -> ExitCode {
         "case" => run_case(&cli),
         "ablation" => run_ablation(&cli),
         "chaos" => run_chaos(&cli),
+        "cluster" => run_cluster(&cli),
         "all" => {
             run_fig34(&cli);
             run_endtoend(&cli);
@@ -214,6 +233,7 @@ fn main() -> ExitCode {
             run_case(&cli);
             run_ablation(&cli);
             run_chaos(&cli);
+            run_cluster(&cli);
         }
         other => {
             eprintln!("unknown command '{other}'\n{USAGE}");

@@ -16,12 +16,14 @@
 //! | [`casestudy`] | the Sec. V-C CrowdFlower case-study statistics |
 //! | [`ablation`] | the design-choice ablations listed in `DESIGN.md` |
 //! | [`chaos`] | fault-injection sweep (no paper counterpart: REACT vs baselines under worker dropout, stragglers, message loss) |
+//! | [`cluster`] | sharded cluster-mode scaling sweep (no paper counterpart: ticks/sec across 1–16 shards + fallback identities → `BENCH_cluster.json`) |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod casestudy;
 pub mod chaos;
+pub mod cluster;
 pub mod endtoend;
 pub mod fig34;
 pub mod hotpath;

@@ -1,0 +1,818 @@
+//! The cluster-wide discrete-event harness.
+//!
+//! [`ClusterRunner`] drives a whole crowdsourcing scenario — Poisson
+//! arrivals, worker faults, completions — through a [`Cluster`], i.e.
+//! through *interacting* shards: tasks hand off between shards when a
+//! pool collapses, idle workers migrate toward backlogs, and admission
+//! caps shed overload at the door. This is the coupled counterpart of
+//! `react_crowd::MultiRegionRunner`, whose regions never interact.
+//!
+//! Two execution paths:
+//!
+//! * [`ClusterRunner::run`] — the coupled event loop. One global event
+//!   queue; every control tick steps all shards (serially or on scoped
+//!   threads) and then runs the cluster passes. Serial and parallel
+//!   shard execution are bit-identical.
+//! * [`ClusterRunner::run_single_tier`] — the degenerate fallback:
+//!   partitions the scenario with `react_crowd::partition_scenarios`
+//!   and replays each region through a plain `ScenarioRunner`, exactly
+//!   as `MultiRegionRunner` does. Because both call the same partition
+//!   function and the same per-region runner, the result is
+//!   bit-identical to `MultiRegionRunner` *by construction*.
+//!
+//! Scope of the coupled mode: `global.replication` and `global.churn`
+//! are ignored (replica voting and autonomous churn cycles stay on the
+//! single-server runner); worker faults, bursts, abandons and message
+//! loss from `react_faults::FaultPlan` are fully supported.
+
+use crate::cluster::Cluster;
+use crate::policy::ClusterPolicy;
+use rand::Rng;
+use react_core::{AuditLog, Task, TaskCategory, TaskId, WorkerId};
+use react_crowd::{
+    generate_population, partition_scenarios, MultiRegionReport, Scenario, ScenarioRunner,
+    WorkerBehavior,
+};
+use react_faults::FaultSchedule;
+use react_geo::{GeoPoint, RegionGrid, ServerId};
+use react_obs::{null_observer, CounterKind, ObserverHandle, SpanKind, SpanTimer};
+use react_sim::{RngStreams, SimDuration, SimTime, Simulator};
+use std::collections::HashMap;
+
+/// Burst task ids live far outside the workload id space (same base as
+/// the single-server runner).
+const BURST_ID_BASE: u64 = 1 << 40;
+
+/// Configuration of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterScenario {
+    /// Global parameters: `n_workers`, `arrival_rate` and `total_tasks`
+    /// are cluster-wide totals, `region` is the whole covered area.
+    pub global: Scenario,
+    /// Latitude bands of the initial shard grid.
+    pub rows: u32,
+    /// Longitude bands of the initial shard grid.
+    pub cols: u32,
+    /// Cluster policy (handoff / rebalance / admission / pre-split).
+    pub policy: ClusterPolicy,
+}
+
+/// Per-shard accounting of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The shard's server id (router leaf cell).
+    pub server: ServerId,
+    /// Tasks routed to and accepted by this shard (handoffs excluded).
+    pub received: u64,
+    /// Tasks this shard completed.
+    pub completed: u64,
+    /// Completions before the deadline.
+    pub met_deadline: u64,
+    /// Positive feedbacks earned.
+    pub positive_feedback: u64,
+    /// Tasks that expired unassigned on this shard (including queued
+    /// leftovers at the horizon).
+    pub expired_unassigned: u64,
+    /// Tasks refused at this shard's admission cap.
+    pub admission_shed: u64,
+    /// Tasks this shard handed off to neighbours.
+    pub handoffs_out: u64,
+    /// Tasks this shard received via handoff.
+    pub handoffs_in: u64,
+    /// Eq. (2) recalls performed by this shard.
+    pub reassignments: u64,
+    /// Tasks shed by the shard's own recovery layer.
+    pub sheds: u64,
+    /// Tasks still assigned when the run ended.
+    pub stranded: u64,
+    /// Matching batches run.
+    pub batches: u64,
+    /// Modelled scheduler compute time (seconds).
+    pub total_matching_seconds: f64,
+    /// Workers mapped to this shard at the end (after rebalancing).
+    pub workers_final: usize,
+    /// Final-worker execution time per completed task.
+    pub exec_times: Vec<f64>,
+    /// First-submission→completion time per completed task (measured
+    /// from the task's *original* submission, across handoffs).
+    pub total_times: Vec<f64>,
+    /// The shard's audit log, when `config.audit` was enabled.
+    pub audit: Option<AuditLog>,
+}
+
+/// Aggregated outcome of a coupled cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Scenario label.
+    pub label: String,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Tasks that arrived cluster-wide (workload + bursts).
+    pub received: u64,
+    /// Tasks whose location fell outside every shard (0 for workloads
+    /// generated inside the area).
+    pub unroutable: u64,
+    /// Workers relocated by the rebalance passes.
+    pub workers_rebalanced: u64,
+    /// Injected burst tasks.
+    pub burst_tasks: u64,
+    /// Assignments silently abandoned by the fault plan.
+    pub abandons: u64,
+    /// Completion messages lost in flight.
+    pub completions_lost: u64,
+    /// Duplicate completion deliveries the servers rejected.
+    pub duplicates_rejected: u64,
+    /// Simulated duration (seconds).
+    pub sim_duration: f64,
+}
+
+impl ClusterReport {
+    /// Cluster-wide completions.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Cluster-wide deadline-met count.
+    pub fn met_deadline(&self) -> u64 {
+        self.shards.iter().map(|s| s.met_deadline).sum()
+    }
+
+    /// Cluster-wide positive feedbacks.
+    pub fn positive_feedback(&self) -> u64 {
+        self.shards.iter().map(|s| s.positive_feedback).sum()
+    }
+
+    /// Cluster-wide expiries (incl. queued leftovers at the horizon).
+    pub fn expired_unassigned(&self) -> u64 {
+        self.shards.iter().map(|s| s.expired_unassigned).sum()
+    }
+
+    /// Cluster-wide admission sheds.
+    pub fn admission_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.admission_shed).sum()
+    }
+
+    /// Cluster-wide stranded (still-assigned) tasks.
+    pub fn stranded(&self) -> u64 {
+        self.shards.iter().map(|s| s.stranded).sum()
+    }
+
+    /// Cluster-wide handoffs (out == in when conservation holds).
+    pub fn handoffs(&self) -> u64 {
+        self.shards.iter().map(|s| s.handoffs_out).sum()
+    }
+
+    /// Fraction of received tasks that met their deadline.
+    pub fn deadline_ratio(&self) -> f64 {
+        if self.received == 0 {
+            0.0
+        } else {
+            self.met_deadline() as f64 / self.received as f64
+        }
+    }
+
+    /// The conservation identity: every task that arrived is accounted
+    /// for exactly once — completed somewhere, expired somewhere, shed
+    /// at an admission cap, stranded in a faulty worker's hands, or
+    /// unroutable. Handoffs move tasks between shards without creating
+    /// or destroying them, so they must also balance pairwise.
+    pub fn conserved(&self) -> bool {
+        let accounted = self.completed()
+            + self.expired_unassigned()
+            + self.admission_shed()
+            + self.stranded()
+            + self.unroutable;
+        let handoffs_balanced = self.shards.iter().map(|s| s.handoffs_out).sum::<u64>()
+            == self.shards.iter().map(|s| s.handoffs_in).sum::<u64>();
+        accounted == self.received && handoffs_balanced
+    }
+
+    /// Whether two cluster reports are bit-identical across every
+    /// per-shard metric including the full per-task time series — the
+    /// check behind the serial/parallel determinism guarantee.
+    pub fn identical(&self, other: &ClusterReport) -> bool {
+        self.received == other.received
+            && self.unroutable == other.unroutable
+            && self.workers_rebalanced == other.workers_rebalanced
+            && self.burst_tasks == other.burst_tasks
+            && self.abandons == other.abandons
+            && self.completions_lost == other.completions_lost
+            && self.duplicates_rejected == other.duplicates_rejected
+            && self.sim_duration.to_bits() == other.sim_duration.to_bits()
+            && self.shards.len() == other.shards.len()
+            && self.shards.iter().zip(other.shards.iter()).all(|(a, b)| {
+                a.server == b.server
+                    && a.received == b.received
+                    && a.completed == b.completed
+                    && a.met_deadline == b.met_deadline
+                    && a.positive_feedback == b.positive_feedback
+                    && a.expired_unassigned == b.expired_unassigned
+                    && a.admission_shed == b.admission_shed
+                    && a.handoffs_out == b.handoffs_out
+                    && a.handoffs_in == b.handoffs_in
+                    && a.reassignments == b.reassignments
+                    && a.sheds == b.sheds
+                    && a.stranded == b.stranded
+                    && a.batches == b.batches
+                    && a.total_matching_seconds.to_bits() == b.total_matching_seconds.to_bits()
+                    && a.workers_final == b.workers_final
+                    && a.exec_times == b.exec_times
+                    && a.total_times == b.total_times
+            })
+    }
+}
+
+/// How the per-tick shard execution is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShardExec {
+    /// Honour the `parallel` feature and `REACT_PARALLEL_THREADS`.
+    Auto,
+    /// Force the serial baseline.
+    Serial,
+    /// Force the scoped-thread path.
+    Parallel,
+}
+
+/// Events driving the cluster simulation.
+#[derive(Debug)]
+enum Event {
+    /// A requester submits a task somewhere in the area.
+    Arrival(Task),
+    /// Cluster-wide control step: every shard ticks, then the handoff
+    /// and (periodically) rebalance passes run.
+    Tick,
+    /// A worker finishes a task it was assigned on `shard`.
+    Finish {
+        shard: ServerId,
+        task: TaskId,
+        worker: WorkerId,
+        epoch: u32,
+    },
+    /// A fault-plan dropout (recalls any held task on the worker's
+    /// current shard).
+    WorkerOffline(WorkerId),
+    /// A dropped-out worker rejoins its current shard.
+    WorkerOnline(WorkerId),
+    /// A fault-plan burst: `size` extra tasks at one instant.
+    Burst { size: u32 },
+}
+
+/// Runs one [`ClusterScenario`] to completion.
+pub struct ClusterRunner {
+    scenario: ClusterScenario,
+    observer: ObserverHandle,
+}
+
+impl ClusterRunner {
+    /// Creates a runner.
+    pub fn new(scenario: ClusterScenario) -> Self {
+        ClusterRunner {
+            scenario,
+            observer: null_observer(),
+        }
+    }
+
+    /// Attaches an observability sink shared by every shard server; the
+    /// cluster additionally reports `shard.tick` spans and the
+    /// `shard.*` counters. Observers are write-only: reports stay
+    /// bit-identical whatever sink is attached.
+    pub fn with_observer(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The coupled cluster run. With the `parallel` feature (and
+    /// `REACT_PARALLEL_THREADS` ≠ 1) shards tick on scoped threads;
+    /// otherwise serially. Both are bit-identical.
+    pub fn run(&self) -> ClusterReport {
+        self.run_with(ShardExec::Auto)
+    }
+
+    /// The serial baseline: shards tick one after another.
+    pub fn run_serial(&self) -> ClusterReport {
+        self.run_with(ShardExec::Serial)
+    }
+
+    /// Forces the scoped-thread shard path (always compiled; thread
+    /// count bounded by `react_core::par::parallelism`).
+    pub fn run_parallel(&self) -> ClusterReport {
+        self.run_with(ShardExec::Parallel)
+    }
+
+    /// The degenerate single-tier fallback: no coupling mechanisms, no
+    /// shared event queue — the scenario is partitioned by
+    /// `react_crowd::partition_scenarios` and each region replays
+    /// through a plain `ScenarioRunner`, exactly as
+    /// `MultiRegionRunner::run_serial` does. Bit-identical to the
+    /// multi-region runner by construction (both call the same
+    /// partition function and per-region runner with the same seeds).
+    pub fn run_single_tier(&self) -> MultiRegionReport {
+        let per_region = partition_scenarios(
+            &self.scenario.global,
+            self.scenario.rows,
+            self.scenario.cols,
+        )
+        .into_iter()
+        .map(|(region_id, sc)| {
+            let enabled = self.observer.enabled();
+            let timer = enabled.then(SpanTimer::start);
+            let report = ScenarioRunner::new(sc)
+                .with_observer(self.observer.clone())
+                .run();
+            if let Some(timer) = timer {
+                timer.finish(self.observer.as_ref(), SpanKind::RegionRun);
+                self.observer.incr(CounterKind::RegionsRun, 1);
+            }
+            (region_id, report)
+        })
+        .collect();
+        MultiRegionReport { per_region }
+    }
+
+    fn run_with(&self, exec: ShardExec) -> ClusterReport {
+        let sc = &self.scenario.global;
+        let grid = RegionGrid::new(sc.region, self.scenario.rows, self.scenario.cols)
+            .expect("non-zero grid dimensions");
+        let streams = RngStreams::new(sc.seed ^ 0xc1);
+        let mut pop_rng = streams.stream("population");
+        let mut workload_rng = streams.stream("workload");
+        let mut behavior_rng = streams.stream("behavior");
+        let mut burst_rng = streams.stream("fault.burst-tasks");
+        let fault_schedule = match &sc.faults {
+            Some(plan) if !plan.is_noop() => plan.materialize(&streams, sc.n_workers),
+            _ => FaultSchedule::none(),
+        };
+
+        // Crowd: behaviours first, then locations, both from the
+        // population stream (mirroring the single-server runner's draw
+        // order). The locations double as the pre-split projection.
+        let behaviors: Vec<WorkerBehavior> =
+            generate_population(sc.n_workers, &sc.behavior, &mut pop_rng);
+        let locations: Vec<GeoPoint> = (0..sc.n_workers)
+            .map(|_| sc.region.random_point(&mut pop_rng))
+            .collect();
+
+        let mut cluster = Cluster::new(
+            &grid,
+            sc.config.clone(),
+            sc.seed,
+            self.scenario.policy,
+            self.observer.clone(),
+            streams.stream("cluster.rebalance"),
+            &locations,
+        )
+        .expect("scenario carries a valid middleware config");
+        for (w, location) in locations.iter().enumerate() {
+            cluster.register_worker(WorkerId(w as u64), *location);
+        }
+
+        let server_ids = cluster.server_ids();
+        let shard_index: HashMap<ServerId, usize> = server_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let n_shards = server_ids.len();
+        let mut shards: Vec<ShardReport> = server_ids
+            .iter()
+            .map(|&server| ShardReport {
+                server,
+                received: 0,
+                completed: 0,
+                met_deadline: 0,
+                positive_feedback: 0,
+                expired_unassigned: 0,
+                admission_shed: 0,
+                handoffs_out: 0,
+                handoffs_in: 0,
+                reassignments: 0,
+                sheds: 0,
+                stranded: 0,
+                batches: 0,
+                total_matching_seconds: 0.0,
+                workers_final: 0,
+                exec_times: Vec::new(),
+                total_times: Vec::new(),
+                audit: None,
+            })
+            .collect();
+        let mut report = ClusterReport {
+            label: sc.label.clone(),
+            shards: Vec::new(),
+            received: 0,
+            unroutable: 0,
+            workers_rebalanced: 0,
+            burst_tasks: 0,
+            abandons: 0,
+            completions_lost: 0,
+            duplicates_rejected: 0,
+            sim_duration: 0.0,
+        };
+
+        // Preload the whole workload (preset replay or Poisson stream).
+        let workload: Vec<(f64, Task)> = match &sc.workload {
+            Some(preset) => preset.clone(),
+            None => react_crowd::TaskGenerator::new(sc.arrival_rate, sc.region)
+                .with_deadline_range(sc.deadline_range.0, sc.deadline_range.1)
+                .with_categories(sc.n_categories)
+                .take_n(sc.total_tasks, &mut workload_rng),
+        };
+        let total_tasks = workload.len();
+
+        let mut sim: Simulator<Event> = Simulator::new();
+        for (at, task) in workload {
+            sim.schedule_at(SimTime::from_secs(at), Event::Arrival(task));
+        }
+        sim.schedule_in(SimDuration::from_secs(sc.tick_interval), Event::Tick);
+        for d in fault_schedule.dropouts() {
+            if d.worker >= sc.n_workers {
+                continue;
+            }
+            sim.schedule_at(
+                SimTime::from_secs(d.at),
+                Event::WorkerOffline(WorkerId(d.worker as u64)),
+            );
+            if let Some(rejoin) = d.rejoin_at {
+                sim.schedule_at(
+                    SimTime::from_secs(rejoin),
+                    Event::WorkerOnline(WorkerId(d.worker as u64)),
+                );
+            }
+        }
+        for &(at, size) in fault_schedule.bursts() {
+            sim.schedule_at(SimTime::from_secs(at), Event::Burst { size });
+        }
+
+        // Global per-task epoch counters (a recall invalidates pending
+        // finishes), first-submission times (total_times span handoffs),
+        // and per-worker FIFO release times.
+        let mut epochs: HashMap<TaskId, u32> = HashMap::new();
+        let mut first_submitted: HashMap<TaskId, f64> = HashMap::new();
+        let mut next_free: Vec<f64> = vec![0.0; sc.n_workers];
+        let mut last_arrival_at = 0.0f64;
+
+        while let Some((at, event)) = sim.next_event() {
+            let now = at.as_secs();
+            match event {
+                Event::Arrival(task) => {
+                    report.received += 1;
+                    last_arrival_at = now;
+                    let task_id = task.id;
+                    match cluster.submit_task(task, now) {
+                        crate::cluster::Submission::Accepted(server) => {
+                            let i = shard_index[&server];
+                            shards[i].received += 1;
+                            first_submitted.entry(task_id).or_insert(now);
+                            // Arrival doubles as a local control step so
+                            // the batch trigger reacts immediately.
+                            if let Some((_, outcome)) = cluster.tick_shard(server, now) {
+                                apply_outcome(
+                                    server,
+                                    &outcome,
+                                    now,
+                                    &behaviors,
+                                    &mut behavior_rng,
+                                    &fault_schedule,
+                                    &mut epochs,
+                                    &mut next_free,
+                                    &mut sim,
+                                    &mut shards[i],
+                                    &mut report,
+                                );
+                            }
+                        }
+                        crate::cluster::Submission::Shed(_) => {}
+                        crate::cluster::Submission::Unroutable => report.unroutable += 1,
+                    }
+                }
+                Event::Burst { size } => {
+                    for _ in 0..size {
+                        let id = TaskId(BURST_ID_BASE + report.burst_tasks);
+                        let deadline = burst_rng.gen_range(
+                            sc.deadline_range.0
+                                ..sc.deadline_range.1.max(sc.deadline_range.0 + f64::EPSILON),
+                        );
+                        let reward = burst_rng.gen_range(0.01..0.10);
+                        let category = TaskCategory(burst_rng.gen_range(0..sc.n_categories.max(1)));
+                        let task = Task::new(
+                            id,
+                            sc.region.random_point(&mut burst_rng),
+                            deadline,
+                            reward,
+                            category,
+                            "burst",
+                        );
+                        report.received += 1;
+                        report.burst_tasks += 1;
+                        if let crate::cluster::Submission::Accepted(server) =
+                            cluster.submit_task(task, now)
+                        {
+                            shards[shard_index[&server]].received += 1;
+                            first_submitted.entry(id).or_insert(now);
+                        }
+                    }
+                    last_arrival_at = now;
+                }
+                Event::Tick => {
+                    let outcome = match exec {
+                        ShardExec::Auto => cluster.tick(now),
+                        ShardExec::Serial => cluster.tick_serial(now),
+                        ShardExec::Parallel => cluster.tick_parallel(now),
+                    };
+                    for (server, shard_outcome) in &outcome.shard_ticks {
+                        let i = shard_index[server];
+                        apply_outcome(
+                            *server,
+                            shard_outcome,
+                            now,
+                            &behaviors,
+                            &mut behavior_rng,
+                            &fault_schedule,
+                            &mut epochs,
+                            &mut next_free,
+                            &mut sim,
+                            &mut shards[i],
+                            &mut report,
+                        );
+                    }
+                    let workload_done =
+                        (report.received - report.burst_tasks) as usize >= total_tasks;
+                    let tasks_open = (0..n_shards).any(|i| {
+                        let server = cluster.server(server_ids[i]).expect("shard exists");
+                        server.tasks().unassigned_count() > 0 || server.tasks().assigned_count() > 0
+                    });
+                    let past_horizon = workload_done && now > last_arrival_at + sc.drain_horizon;
+                    if (!workload_done || tasks_open) && !past_horizon {
+                        sim.schedule_in(SimDuration::from_secs(sc.tick_interval), Event::Tick);
+                    }
+                }
+                Event::WorkerOffline(worker) => {
+                    for task in cluster.worker_offline(worker, now) {
+                        *epochs.entry(task).or_insert(0) += 1;
+                    }
+                    next_free[worker.0 as usize] = now;
+                }
+                Event::WorkerOnline(worker) => {
+                    cluster.worker_online(worker);
+                }
+                Event::Finish {
+                    shard,
+                    task,
+                    worker,
+                    epoch,
+                } => {
+                    if epochs.get(&task).copied() != Some(epoch) {
+                        continue; // stale: the task was recalled (or moved)
+                    }
+                    if fault_schedule.loses_completion(task.0, epoch) {
+                        report.completions_lost += 1;
+                        continue;
+                    }
+                    let behavior = &behaviors[worker.0 as usize];
+                    let quality_ok = behavior.sample_quality_ok(&mut behavior_rng);
+                    let outcome = cluster
+                        .complete_task(shard, task, worker, now, quality_ok)
+                        .expect("valid-epoch finish events match the assignment");
+                    let i = shard_index[&shard];
+                    shards[i].completed += 1;
+                    if outcome.met_deadline {
+                        shards[i].met_deadline += 1;
+                    }
+                    if outcome.positive_feedback {
+                        shards[i].positive_feedback += 1;
+                    }
+                    shards[i].exec_times.push(outcome.exec_time);
+                    let t0 = first_submitted.get(&task).copied().unwrap_or(now);
+                    shards[i].total_times.push(now - t0);
+                    if fault_schedule.duplicates_completion(task.0, epoch)
+                        && cluster
+                            .complete_task(shard, task, worker, now, quality_ok)
+                            .is_err()
+                    {
+                        report.duplicates_rejected += 1;
+                    }
+                }
+            }
+            report.sim_duration = now;
+        }
+
+        // Horizon accounting + per-shard server stats.
+        for (i, &server_id) in server_ids.iter().enumerate() {
+            let server = cluster.server(server_id).expect("shard exists");
+            shards[i].expired_unassigned += server.tasks().unassigned_count() as u64;
+            shards[i].stranded = server.tasks().assigned_count() as u64;
+            shards[i].batches = server.batches_run();
+            shards[i].total_matching_seconds = server.total_matching_seconds();
+            shards[i].audit = server.audit().cloned();
+            shards[i].admission_shed = cluster.admission_shed()[i];
+            shards[i].handoffs_out = cluster.handoffs_out()[i];
+            shards[i].handoffs_in = cluster.handoffs_in()[i];
+        }
+        for (i, n) in cluster.workers_per_shard().into_iter().enumerate() {
+            shards[i].workers_final = n;
+        }
+        report.workers_rebalanced = cluster.workers_rebalanced();
+        report.shards = shards;
+        report
+    }
+}
+
+/// Applies one shard tick outcome to the global event queue and the
+/// shard's report: expiries and sheds retire tasks, recalls invalidate
+/// pending finishes, fresh assignments schedule them.
+#[allow(clippy::too_many_arguments)]
+fn apply_outcome(
+    shard: ServerId,
+    outcome: &react_core::TickOutcome,
+    now: f64,
+    behaviors: &[WorkerBehavior],
+    behavior_rng: &mut rand::rngs::SmallRng,
+    fault_schedule: &FaultSchedule,
+    epochs: &mut HashMap<TaskId, u32>,
+    next_free: &mut [f64],
+    sim: &mut Simulator<Event>,
+    shard_report: &mut ShardReport,
+    report: &mut ClusterReport,
+) {
+    shard_report.expired_unassigned += outcome.expired.len() as u64;
+    shard_report.expired_unassigned += outcome.shed.len() as u64;
+    shard_report.sheds += outcome.shed.len() as u64;
+    for recall in &outcome.recalls {
+        *epochs.entry(recall.task).or_insert(0) += 1;
+        shard_report.reassignments += 1;
+        next_free[recall.worker.0 as usize] = now;
+    }
+    for &(worker, task) in &outcome.assignments {
+        let epoch = {
+            let e = epochs.entry(task).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let w = worker.0 as usize;
+        let start = outcome.effective_at.max(next_free[w]);
+        let exec_time =
+            behaviors[w].sample_exec_time(behavior_rng) * fault_schedule.slowdown_factor(w);
+        next_free[w] = start + exec_time;
+        if fault_schedule.abandons(task.0, epoch) {
+            report.abandons += 1;
+            continue;
+        }
+        sim.schedule_at(
+            SimTime::from_secs(start + exec_time),
+            Event::Finish {
+                shard,
+                task,
+                worker,
+                epoch,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AdmissionPolicy, HandoffPolicy, RebalancePolicy};
+    use react_core::MatcherPolicy;
+    use react_crowd::MultiRegionRunner;
+
+    fn scenario(seed: u64, rows: u32, cols: u32, policy: ClusterPolicy) -> ClusterScenario {
+        let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 200 }, seed);
+        global.n_workers = 60;
+        global.arrival_rate = 4.0;
+        global.total_tasks = 240;
+        ClusterScenario {
+            global,
+            rows,
+            cols,
+            policy,
+        }
+    }
+
+    #[test]
+    fn coupled_run_conserves_every_task() {
+        let r = ClusterRunner::new(scenario(1, 2, 2, ClusterPolicy::coupled())).run_serial();
+        assert_eq!(r.received, 240);
+        assert_eq!(r.unroutable, 0, "generator stays inside the area");
+        assert!(r.conserved(), "conservation identity must hold: {r:?}");
+        assert!(r.completed() > 0);
+        assert!(r.met_deadline() <= r.completed());
+        assert_eq!(r.shards.len(), 4);
+        let per_shard_received: u64 = r.shards.iter().map(|s| s.received).sum();
+        assert_eq!(per_shard_received + r.admission_shed() + r.unroutable, 240);
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let runner = ClusterRunner::new(scenario(2, 2, 2, ClusterPolicy::coupled()));
+        let serial = runner.run_serial();
+        let parallel = runner.run_parallel();
+        assert!(
+            serial.identical(&parallel),
+            "parallel shard execution must not perturb any result"
+        );
+        assert!(serial.identical(&runner.run()));
+        let other = ClusterRunner::new(scenario(3, 2, 2, ClusterPolicy::coupled())).run_serial();
+        assert!(!serial.identical(&other), "different seeds should differ");
+    }
+
+    #[test]
+    fn single_tier_matches_multiregion_bit_for_bit() {
+        let sc = scenario(4, 2, 2, ClusterPolicy::single_tier());
+        let cluster = ClusterRunner::new(sc.clone()).run_single_tier();
+        let multi = MultiRegionRunner::new(react_crowd::MultiRegionScenario {
+            global: sc.global,
+            rows: sc.rows,
+            cols: sc.cols,
+        })
+        .run_serial();
+        assert!(
+            cluster.identical(&multi),
+            "single-tier cluster must reproduce the multi-region runner"
+        );
+    }
+
+    #[test]
+    fn handoffs_rescue_tasks_from_a_depleted_shard() {
+        // Drop half the crowd early via the fault plan; handoff keeps
+        // queues moving toward whichever shards still have workers.
+        let mut sc = scenario(5, 2, 2, ClusterPolicy::coupled());
+        sc.policy.handoff = Some(HandoffPolicy {
+            pool_floor: 8,
+            max_per_tick: 16,
+        });
+        sc.policy.rebalance = None;
+        sc.global.faults = Some(react_faults::FaultPlan {
+            dropout: Some(react_faults::DropoutPlan {
+                probability: 0.6,
+                window: (1.0, 20.0),
+                offline_range: None,
+            }),
+            ..react_faults::FaultPlan::none()
+        });
+        let r = ClusterRunner::new(sc).run_serial();
+        assert!(r.conserved(), "conservation under handoff: {r:?}");
+        assert!(
+            r.handoffs() > 0,
+            "pool collapse must trigger handoffs: {r:?}"
+        );
+    }
+
+    #[test]
+    fn rebalancing_moves_workers_and_stays_conserved() {
+        let mut sc = scenario(6, 2, 2, ClusterPolicy::coupled());
+        sc.policy.rebalance = Some(RebalancePolicy {
+            period_ticks: 2,
+            min_idle: 1,
+            max_moves: 4,
+        });
+        let r = ClusterRunner::new(sc.clone()).run_serial();
+        assert!(r.conserved());
+        let total_workers: usize = r.shards.iter().map(|s| s.workers_final).sum();
+        assert_eq!(total_workers, sc.global.n_workers, "workers conserved");
+    }
+
+    #[test]
+    fn admission_cap_sheds_and_still_conserves() {
+        let mut sc = scenario(7, 1, 1, ClusterPolicy::coupled());
+        sc.policy.admission = Some(AdmissionPolicy { max_open_tasks: 5 });
+        sc.policy.handoff = None;
+        sc.global.arrival_rate = 40.0; // slam the single shard
+        let r = ClusterRunner::new(sc).run_serial();
+        assert!(r.admission_shed() > 0, "overload must shed: {r:?}");
+        assert!(r.conserved());
+    }
+
+    #[test]
+    fn audit_logs_verify_across_handoffs() {
+        let mut sc = scenario(8, 2, 2, ClusterPolicy::coupled());
+        sc.global.config.audit = true;
+        sc.policy.handoff = Some(HandoffPolicy {
+            pool_floor: 8,
+            max_per_tick: 16,
+        });
+        sc.global.faults = Some(react_faults::FaultPlan {
+            dropout: Some(react_faults::DropoutPlan {
+                probability: 0.4,
+                window: (1.0, 20.0),
+                offline_range: None,
+            }),
+            ..react_faults::FaultPlan::none()
+        });
+        let r = ClusterRunner::new(sc).run_serial();
+        assert!(r.conserved());
+        let mut verified = 0;
+        for shard in &r.shards {
+            let log = shard.audit.as_ref().expect("audit enabled");
+            verified += react_core::verify_lifecycles(log);
+        }
+        assert!(verified > 0, "audit logs must cover the workload");
+    }
+
+    #[test]
+    fn coupled_run_is_deterministic() {
+        let a = ClusterRunner::new(scenario(9, 2, 2, ClusterPolicy::coupled())).run_serial();
+        let b = ClusterRunner::new(scenario(9, 2, 2, ClusterPolicy::coupled())).run_serial();
+        assert!(a.identical(&b));
+    }
+}

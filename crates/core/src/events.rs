@@ -7,7 +7,7 @@
 //! asserts that each task's event sequence matches the legal lifecycle
 //!
 //! ```text
-//! Submitted (Assigned (Recalled)?)* (Completed | Expired | Shed)?
+//! Submitted (Assigned (Recalled)?)* (Completed | Expired | Shed | HandedOff)?
 //! ```
 //!
 //! with timestamps non-decreasing and the completing worker equal to the
@@ -46,6 +46,11 @@ pub enum TaskEventKind {
     /// dropped, lowest value first, because the live worker pool fell
     /// below the configured floor).
     Shed,
+    /// The cluster layer evicted the queued task from this server to
+    /// re-submit it on a neighbouring shard (cross-shard handoff). From
+    /// this server's perspective the task is done; the receiving shard
+    /// records a fresh `Submitted` in its own log.
+    HandedOff,
 }
 
 /// One audit record.
@@ -111,6 +116,9 @@ pub fn verify_lifecycles(log: &AuditLog) -> usize {
         Queued,
         Running(WorkerId),
         Done,
+        /// Handed off to another shard. Unlike `Done`, the task may
+        /// legally re-enter this log: a later handoff can bring it back.
+        Departed,
     }
     let mut states: HashMap<TaskId, (State, f64)> = HashMap::new();
     for e in log.events() {
@@ -130,6 +138,8 @@ pub fn verify_lifecycles(log: &AuditLog) -> usize {
             (State::Queued, TaskEventKind::Assigned { worker }) => State::Running(worker),
             (State::Queued, TaskEventKind::Expired) => State::Done,
             (State::Queued, TaskEventKind::Shed) => State::Done,
+            (State::Queued, TaskEventKind::HandedOff) => State::Departed,
+            (State::Departed, TaskEventKind::Submitted) => State::Queued,
             (State::Running(w), TaskEventKind::Recalled { worker }) => {
                 assert_eq!(
                     w, worker,
@@ -215,6 +225,70 @@ mod tests {
             (6.0, 8, TaskEventKind::Shed),
         ]);
         assert_eq!(verify_lifecycles(&log), 2);
+    }
+
+    #[test]
+    fn handoff_lifecycle_including_after_recall() {
+        let w = WorkerId(4);
+        let log = log_of(&[
+            (0.0, 11, TaskEventKind::Submitted),
+            (2.0, 11, TaskEventKind::HandedOff),
+            (0.0, 12, TaskEventKind::Submitted),
+            (1.0, 12, TaskEventKind::Assigned { worker: w }),
+            (5.0, 12, TaskEventKind::Recalled { worker: w }),
+            (6.0, 12, TaskEventKind::HandedOff),
+        ]);
+        assert_eq!(verify_lifecycles(&log), 2);
+    }
+
+    #[test]
+    fn handed_off_task_may_return() {
+        // A task handed A→B and later B→A re-enters A's log: the second
+        // Submitted after HandedOff is legal, unlike after Shed/Expired.
+        let w = WorkerId(2);
+        let log = log_of(&[
+            (0.0, 20, TaskEventKind::Submitted),
+            (2.0, 20, TaskEventKind::HandedOff),
+            (9.0, 20, TaskEventKind::Submitted),
+            (10.0, 20, TaskEventKind::Assigned { worker: w }),
+            (
+                12.0,
+                20,
+                TaskEventKind::Completed {
+                    worker: w,
+                    met_deadline: true,
+                },
+            ),
+        ]);
+        assert_eq!(verify_lifecycles(&log), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn rejects_resubmission_after_shed() {
+        let log = log_of(&[
+            (0.0, 1, TaskEventKind::Submitted),
+            (1.0, 1, TaskEventKind::Shed),
+            (2.0, 1, TaskEventKind::Submitted),
+        ]);
+        verify_lifecycles(&log);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal transition")]
+    fn rejects_handing_off_a_running_task() {
+        let log = log_of(&[
+            (0.0, 1, TaskEventKind::Submitted),
+            (
+                1.0,
+                1,
+                TaskEventKind::Assigned {
+                    worker: WorkerId(1),
+                },
+            ),
+            (2.0, 1, TaskEventKind::HandedOff),
+        ]);
+        verify_lifecycles(&log);
     }
 
     #[test]

@@ -277,31 +277,6 @@ impl ReactServer {
         }
     }
 
-    /// Creates a server with the given configuration and RNG seed (the
-    /// seed feeds the randomized matchers; equal seeds ⇒ equal runs).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ReactServer::builder(config).seed(seed).build() instead"
-    )]
-    pub fn new(config: Config, seed: u64) -> Self {
-        let audit = config.audit;
-        ReactServer::assemble(
-            config,
-            seed,
-            CostModel::paper_calibrated(),
-            audit,
-            null_observer(),
-        )
-    }
-
-    /// Enables the task lifecycle audit log (see [`crate::AuditLog`]),
-    /// regardless of the configuration flag.
-    #[deprecated(since = "0.2.0", note = "use ServerBuilder::audit(true) instead")]
-    pub fn with_audit(mut self) -> Self {
-        self.audit.get_or_insert_with(AuditLog::new);
-        self
-    }
-
     /// The audit log, when enabled.
     pub fn audit(&self) -> Option<&AuditLog> {
         self.audit.as_ref()
@@ -311,14 +286,6 @@ impl ReactServer {
         if let Some(log) = self.audit.as_mut() {
             log.push(at, task, kind);
         }
-    }
-
-    /// Replaces the scheduler cost model (e.g. [`CostModel::free`] for
-    /// quality-only experiments).
-    #[deprecated(since = "0.2.0", note = "use ServerBuilder::cost_model(..) instead")]
-    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
-        self.cost_model = cost_model;
-        self
     }
 
     /// Routes this server's telemetry to `observer` (also re-routes the
@@ -433,6 +400,27 @@ impl ReactServer {
         if self.tasks.submit(task, now).is_ok() {
             self.record_event(now, id, TaskEventKind::Submitted);
         }
+    }
+
+    /// Evicts up to `max` queued (unassigned) tasks, oldest first, for a
+    /// cross-shard handoff and returns each task together with its
+    /// original submission time. The tasks leave this server entirely
+    /// (audited as [`TaskEventKind::HandedOff`]); the cluster layer
+    /// re-submits them on a neighbouring shard. In-flight assignments
+    /// are never evicted.
+    pub fn evict_unassigned(&mut self, max: usize, now: f64) -> Vec<(Task, f64)> {
+        self.tasks
+            .take_unassigned(max)
+            .into_iter()
+            .map(|rec| {
+                let id = rec.task.id;
+                let submitted_at = rec.submitted_at;
+                if let Some(log) = self.audit.as_mut() {
+                    log.push(now, id, TaskEventKind::HandedOff);
+                }
+                (rec.task, submitted_at)
+            })
+            .collect()
     }
 
     // ----- the control step ------------------------------------------
@@ -1160,27 +1148,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
+    fn evict_unassigned_transfers_queue_with_audit() {
         let mut config = Config::paper_defaults();
         config.batch = BatchTrigger {
-            min_unassigned: 1,
+            min_unassigned: 100, // never batch — keep the queue intact
             period: None,
         };
-        let mut old = ReactServer::new(config.clone(), 7).with_cost_model(CostModel::free());
-        let mut new = ReactServer::builder(config)
-            .seed(7)
-            .cost_model(CostModel::free())
-            .build()
-            .unwrap();
-        for s in [&mut old, &mut new] {
-            s.register_worker(WorkerId(1), here());
-            s.submit_task(task(1, 60.0), 0.0);
-        }
-        let a = old.tick(0.0);
-        let b = new.tick(0.0);
-        assert_eq!(a.assignments, b.assignments);
-        assert_eq!(a.effective_at.to_bits(), b.effective_at.to_bits());
+        let mut s = ReactServer::builder(config).audit(true).build().unwrap();
+        s.register_worker(WorkerId(1), here());
+        s.submit_task(task(1, 60.0), 0.0);
+        s.submit_task(task(2, 60.0), 1.0);
+        s.submit_task(task(3, 60.0), 2.0);
+        let evicted = s.evict_unassigned(2, 3.0);
+        assert_eq!(evicted.len(), 2, "eviction respects the cap");
+        assert_eq!(evicted[0].0.id, crate::ids::TaskId(1));
+        assert_eq!(evicted[0].1, 0.0, "original submission time preserved");
+        assert_eq!(evicted[1].0.id, crate::ids::TaskId(2));
+        assert_eq!(s.tasks().unassigned_count(), 1);
+        // Handed-off tasks close their lifecycle on this server's log.
+        let log = s.audit().unwrap();
+        crate::events::verify_lifecycles(log);
+        let history = log.task_history(crate::ids::TaskId(1));
+        assert_eq!(history.last().unwrap().kind, TaskEventKind::HandedOff);
     }
 
     #[test]

@@ -266,6 +266,22 @@ impl TaskManagementComponent {
         shed
     }
 
+    /// Removes up to `max` unassigned tasks from the registry entirely,
+    /// oldest first, and returns their records — the eviction half of a
+    /// cross-shard handoff. Unlike [`shed_lowest_value`], the tasks are
+    /// not retired: ownership transfers to the caller, who re-submits
+    /// them on another server. Assigned tasks are never taken.
+    ///
+    /// [`shed_lowest_value`]: TaskManagementComponent::shed_lowest_value
+    pub fn take_unassigned(&mut self, max: usize) -> Vec<TaskRecord> {
+        let n = max.min(self.unassigned.len());
+        let taken_ids: Vec<TaskId> = self.unassigned.drain(..n).collect();
+        taken_ids
+            .into_iter()
+            .filter_map(|id| self.tasks.remove(&id))
+            .collect()
+    }
+
     /// Removes retired (completed/expired) records older than `horizon`
     /// seconds before `now`, returning how many were pruned. Keeps the
     /// registry from growing without bound in long simulations.
@@ -434,6 +450,34 @@ mod tests {
         ));
         // Nothing to shed when already at or below the cap.
         assert!(tm.shed_lowest_value(2).is_empty());
+    }
+
+    #[test]
+    fn take_unassigned_transfers_oldest_first() {
+        let mut tm = TaskManagementComponent::new();
+        tm.submit(task(1, 60.0), 0.0).unwrap();
+        tm.submit(task(2, 60.0), 1.0).unwrap();
+        tm.submit(task(3, 60.0), 2.0).unwrap();
+        tm.mark_assigned(TaskId(1), WorkerId(4), 3.0).unwrap();
+        // Only unassigned tasks move, oldest (2) before (3).
+        let taken = tm.take_unassigned(10);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].task.id, TaskId(2));
+        assert_eq!(taken[0].submitted_at, 1.0);
+        assert_eq!(taken[1].task.id, TaskId(3));
+        // Taken records are gone from the registry; the assigned task
+        // stays untouched.
+        assert!(tm.record(TaskId(2)).is_err());
+        assert_eq!(tm.len(), 1);
+        assert_eq!(tm.unassigned_count(), 0);
+        assert_eq!(tm.assigned_count(), 1);
+        // `max` caps the transfer.
+        tm.submit(task(5, 60.0), 4.0).unwrap();
+        tm.submit(task(6, 60.0), 5.0).unwrap();
+        let taken = tm.take_unassigned(1);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].task.id, TaskId(5));
+        assert_eq!(tm.unassigned(), &[TaskId(6)]);
     }
 
     #[test]

@@ -69,6 +69,12 @@ impl AuditAnalysis {
                 }
                 TaskEventKind::Recalled { .. } => track.last_assigned_at = None,
                 TaskEventKind::Expired | TaskEventKind::Shed => expired += 1,
+                // The task left for another shard: it is not expired, and
+                // its latency (if it completes) belongs to that shard's
+                // log. Drop the local tracking state.
+                TaskEventKind::HandedOff => {
+                    *track = Track::default();
+                }
                 TaskEventKind::Completed { met_deadline, .. } => {
                     let (Some(t0), Some(ta)) = (track.submitted_at, track.last_assigned_at) else {
                         continue; // malformed prefix: skip defensively

@@ -36,7 +36,8 @@ pub use behavior::{generate_population, BehaviorParams, ExecModel, LatencyModel,
 pub use casestudy::{CaseStudySummary, CaseStudyTrace};
 pub use generator::TaskGenerator;
 pub use multiregion::{
-    MultiRegionReport, MultiRegionRunner, MultiRegionScenario, SchedulePermutationMismatch,
+    partition_scenarios, MultiRegionReport, MultiRegionRunner, MultiRegionScenario,
+    SchedulePermutationMismatch,
 };
 pub use runner::{FaultStats, RunReport, ScenarioRunner};
 pub use scenario::{ChurnParams, Scenario};

@@ -291,46 +291,60 @@ impl MultiRegionRunner {
         Ok(checked)
     }
 
-    /// Deterministic preparation shared by both execution paths: the
-    /// global Poisson stream, its partition by region, the worker
-    /// split, and one seeded scenario per region (in region-id order).
+    /// Deterministic preparation shared by both execution paths — see
+    /// [`partition_scenarios`].
     fn region_scenarios(&self) -> Vec<(RegionId, Scenario)> {
-        let global = &self.scenario.global;
-        let grid = RegionGrid::new(global.region, self.scenario.rows, self.scenario.cols)
-            .expect("non-zero grid dimensions");
-        let streams = RngStreams::new(global.seed ^ 0x9e0);
-        let mut workload_rng = streams.stream("global-workload");
-        let mut generator = TaskGenerator::new(global.arrival_rate, global.region)
-            .with_deadline_range(global.deadline_range.0, global.deadline_range.1)
-            .with_categories(global.n_categories);
-
-        // Partition the global stream by region.
-        let mut per_region_tasks: Vec<Vec<(f64, react_core::Task)>> = vec![Vec::new(); grid.len()];
-        for (at, task) in generator.take_n(global.total_tasks, &mut workload_rng) {
-            let region = grid
-                .locate(&task.location)
-                .expect("generator places tasks inside the area");
-            per_region_tasks[region.0 as usize].push((at, task));
-        }
-
-        // Workers are spread evenly (remainder to the lowest ids).
-        let base = global.n_workers / grid.len();
-        let remainder = global.n_workers % grid.len();
-
-        grid.region_ids()
-            .map(|region_id| {
-                let idx = region_id.0 as usize;
-                let n_workers = base + usize::from(idx < remainder);
-                let mut sc = global.clone();
-                sc.label = format!("{}-{}", global.label, region_id);
-                sc.n_workers = n_workers;
-                sc.region = grid.cell(region_id).expect("id from region_ids");
-                sc.seed = global.seed.wrapping_add(region_id.0 as u64 + 1);
-                sc.workload = Some(std::mem::take(&mut per_region_tasks[idx]));
-                (region_id, sc)
-            })
-            .collect()
+        partition_scenarios(
+            &self.scenario.global,
+            self.scenario.rows,
+            self.scenario.cols,
+        )
     }
+}
+
+/// Deterministic partition of one global scenario into independent
+/// per-region scenarios: the global Poisson stream, its partition by
+/// region, the worker split, and one seeded scenario per region (in
+/// region-id order).
+///
+/// This is the single source of truth for the decomposition. Both
+/// [`MultiRegionRunner`] and `react-cluster`'s single-tier fallback path
+/// call it, which is what makes a 1-tier cluster run bit-identical to
+/// the multi-region demo runner by construction.
+pub fn partition_scenarios(global: &Scenario, rows: u32, cols: u32) -> Vec<(RegionId, Scenario)> {
+    let grid = RegionGrid::new(global.region, rows, cols).expect("non-zero grid dimensions");
+    let streams = RngStreams::new(global.seed ^ 0x9e0);
+    let mut workload_rng = streams.stream("global-workload");
+    let mut generator = TaskGenerator::new(global.arrival_rate, global.region)
+        .with_deadline_range(global.deadline_range.0, global.deadline_range.1)
+        .with_categories(global.n_categories);
+
+    // Partition the global stream by region.
+    let mut per_region_tasks: Vec<Vec<(f64, react_core::Task)>> = vec![Vec::new(); grid.len()];
+    for (at, task) in generator.take_n(global.total_tasks, &mut workload_rng) {
+        let region = grid
+            .locate(&task.location)
+            .expect("generator places tasks inside the area");
+        per_region_tasks[region.0 as usize].push((at, task));
+    }
+
+    // Workers are spread evenly (remainder to the lowest ids).
+    let base = global.n_workers / grid.len();
+    let remainder = global.n_workers % grid.len();
+
+    grid.region_ids()
+        .map(|region_id| {
+            let idx = region_id.0 as usize;
+            let n_workers = base + usize::from(idx < remainder);
+            let mut sc = global.clone();
+            sc.label = format!("{}-{}", global.label, region_id);
+            sc.n_workers = n_workers;
+            sc.region = grid.cell(region_id).expect("id from region_ids");
+            sc.seed = global.seed.wrapping_add(region_id.0 as u64 + 1);
+            sc.workload = Some(std::mem::take(&mut per_region_tasks[idx]));
+            (region_id, sc)
+        })
+        .collect()
 }
 
 /// Adversarial region execution orders: reversed, rotated by one, and

@@ -121,12 +121,72 @@ impl RegionRouter {
         }
     }
 
+    /// Records one registration against the cell owned by `server`
+    /// directly, without routing a point. The cluster layer uses this
+    /// when a task is handed to a *neighbouring* shard: the task's
+    /// location still lies in the source cell, so routing by point would
+    /// charge the wrong server.
+    pub fn add_load(&mut self, server: ServerId) {
+        if let Some(cell) = self
+            .cells
+            .iter_mut()
+            .find(|c| c.children.is_empty() && c.server == server)
+        {
+            cell.load += 1;
+        }
+    }
+
     /// Current load of a server's cell (0 for unknown servers).
     pub fn load(&self, server: ServerId) -> u64 {
         self.cells
             .iter()
             .find(|c| c.children.is_empty() && c.server == server)
             .map_or(0, |c| c.load)
+    }
+
+    /// Zeroes every cell's load counter. Used after projected-load
+    /// pre-splitting: the cluster layer feeds expected member locations
+    /// through [`RegionRouter::register`] to decide the shard topology,
+    /// then resets the counters so live registrations start from zero.
+    pub fn reset_loads(&mut self) {
+        for cell in &mut self.cells {
+            cell.load = 0;
+        }
+    }
+
+    /// All leaf servers (= active shards), in cell-creation order. Roots
+    /// come first in row-major grid order, then split children in the
+    /// order the splits happened — a deterministic enumeration.
+    pub fn leaves(&self) -> Vec<ServerId> {
+        self.cells
+            .iter()
+            .filter(|c| c.children.is_empty())
+            .map(|c| c.server)
+            .collect()
+    }
+
+    /// The bounding box owned by `server`, if it is a live leaf.
+    pub fn bounds(&self, server: ServerId) -> Option<BoundingBox> {
+        self.cells
+            .iter()
+            .find(|c| c.children.is_empty() && c.server == server)
+            .map(|c| c.bounds)
+    }
+
+    /// Leaf cells edge-adjacent to `server`'s cell, in leaf enumeration
+    /// order. Two cells are neighbours when they share a boundary edge of
+    /// positive length (corner contact does not count). Works across
+    /// split levels: a root cell can neighbour the child of a split cell.
+    pub fn neighbors(&self, server: ServerId) -> Vec<ServerId> {
+        let Some(own) = self.bounds(server) else {
+            return Vec::new();
+        };
+        self.cells
+            .iter()
+            .filter(|c| c.children.is_empty() && c.server != server)
+            .filter(|c| boxes_edge_adjacent(&own, &c.bounds))
+            .map(|c| c.server)
+            .collect()
     }
 
     /// Splits every leaf cell whose load is at/above the threshold into
@@ -166,6 +226,24 @@ impl RegionRouter {
         }
         result
     }
+}
+
+/// True when `a` and `b` share a boundary edge of positive length.
+///
+/// Cells come from recursive binary midpoint splits of grid cells, so
+/// matching edges are computed from the same arithmetic — but we still
+/// compare with a span-scaled tolerance rather than exact equality to be
+/// robust against the one-ulp drift the midpoint computation can
+/// introduce at deep split levels.
+fn boxes_edge_adjacent(a: &BoundingBox, b: &BoundingBox) -> bool {
+    let eps = 1e-9 * (a.lat_span() + a.lon_span() + b.lat_span() + b.lon_span());
+    let lat_overlap = a.lat_min() < b.lat_max() - eps && b.lat_min() < a.lat_max() - eps;
+    let lon_overlap = a.lon_min() < b.lon_max() - eps && b.lon_min() < a.lon_max() - eps;
+    let lat_touch =
+        (a.lat_max() - b.lat_min()).abs() <= eps || (b.lat_max() - a.lat_min()).abs() <= eps;
+    let lon_touch =
+        (a.lon_max() - b.lon_min()).abs() <= eps || (b.lon_max() - a.lon_min()).abs() <= eps;
+    (lat_touch && lon_overlap) || (lon_touch && lat_overlap)
 }
 
 #[cfg(test)]
@@ -291,5 +369,104 @@ mod tests {
     #[test]
     fn server_id_display() {
         assert_eq!(ServerId(7).to_string(), "server#7");
+    }
+
+    #[test]
+    fn leaves_and_bounds_enumerate_live_cells() {
+        let mut r = router();
+        assert_eq!(
+            r.leaves(),
+            vec![ServerId(0), ServerId(1), ServerId(2), ServerId(3)]
+        );
+        let b0 = r.bounds(ServerId(0)).unwrap();
+        assert!(b0.contains(&GeoPoint::new(0.5, 0.5)));
+        // Split server 0; its bounds disappear and four children appear.
+        let p = GeoPoint::new(0.5, 0.5);
+        for _ in 0..10 {
+            r.register(&p).unwrap();
+        }
+        let splits = r.split_overloaded();
+        assert!(r.bounds(ServerId(0)).is_none());
+        let leaves = r.leaves();
+        assert_eq!(leaves.len(), 7);
+        assert!(!leaves.contains(&ServerId(0)));
+        for child in &splits[0].1 {
+            assert!(leaves.contains(child));
+        }
+    }
+
+    #[test]
+    fn neighbors_on_uniform_grid() {
+        // 2×2 grid: each cell neighbours the two orthogonally adjacent
+        // cells, never the diagonal one (corner contact only).
+        let r = router();
+        let mut n = r.neighbors(ServerId(0));
+        n.sort();
+        assert_eq!(n, vec![ServerId(1), ServerId(2)]);
+        let mut n = r.neighbors(ServerId(3));
+        n.sort();
+        assert_eq!(n, vec![ServerId(1), ServerId(2)]);
+        assert!(r.neighbors(ServerId(99)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_cross_split_levels() {
+        let mut r = router();
+        let p = GeoPoint::new(0.5, 0.5);
+        for _ in 0..10 {
+            r.register(&p).unwrap();
+        }
+        let splits = r.split_overloaded();
+        let children = splits[0].1; // [lat-low/lon-low, lat-low/lon-high,
+                                    //  lat-high/lon-low, lat-high/lon-high]
+                                    // The lat-high/lon-high child touches both unsplit root cells 1
+                                    // (lon-high) and 2 (lat-high), plus its two sibling quadrants.
+        let mut n = r.neighbors(children[3]);
+        n.sort();
+        assert_eq!(n, vec![ServerId(1), ServerId(2), children[1], children[2]]);
+        // Root cell 1 now sees the two lon-high children instead of the
+        // split parent, and still sees the diagonal-free root 3.
+        let n = r.neighbors(ServerId(1));
+        assert!(n.contains(&children[1]) && n.contains(&children[3]));
+        assert!(n.contains(&ServerId(3)));
+        assert!(!n.contains(&ServerId(0)), "split parent no longer routes");
+        assert!(!n.contains(&children[0]), "corner contact only");
+    }
+
+    #[test]
+    fn live_load_decrements_prevent_stale_splits() {
+        // Regression: load must track *live* membership. A region that
+        // fills up and then drains (tasks complete, workers leave) must
+        // not be split on its historical peak.
+        let mut r = router();
+        let p = GeoPoint::new(0.5, 0.5);
+        let s = r.register(&p).unwrap();
+        for _ in 0..11 {
+            r.register(&p).unwrap();
+        }
+        assert_eq!(r.load(s), 12);
+        // Everything completes/departs before the split check runs.
+        for _ in 0..12 {
+            r.deregister(s);
+        }
+        assert_eq!(r.load(s), 0);
+        assert!(
+            r.split_overloaded().is_empty(),
+            "drained region must not split on stale load"
+        );
+        assert_eq!(r.server_count(), 4);
+    }
+
+    #[test]
+    fn add_load_and_reset_loads() {
+        let mut r = router();
+        r.add_load(ServerId(2));
+        r.add_load(ServerId(2));
+        assert_eq!(r.load(ServerId(2)), 2);
+        r.add_load(ServerId(99)); // unknown: no-op
+        r.reset_loads();
+        for s in r.leaves() {
+            assert_eq!(r.load(s), 0);
+        }
     }
 }

@@ -111,7 +111,10 @@ impl Matching {
 ///
 /// Implementations must be deterministic given the same graph and RNG
 /// stream, which is what makes the simulation experiments reproducible.
-pub trait Matcher {
+/// `Send` is a supertrait so a server owning a boxed matcher can be
+/// moved across scoped threads (the cluster layer ticks shard servers
+/// in parallel); matchers are plain data, so this costs nothing.
+pub trait Matcher: Send {
     /// Computes a matching over `graph`. Deterministic algorithms ignore
     /// `rng`.
     fn assign(&self, graph: &BipartiteGraph, rng: &mut dyn RngCore) -> Matching;

@@ -27,6 +27,8 @@ pub enum SpanKind {
     MatcherAssign,
     /// One region's scenario execution inside `MultiRegionRunner`.
     RegionRun,
+    /// One shard server's tick inside a `Cluster` control step.
+    ShardTick,
 }
 
 impl SpanKind {
@@ -41,6 +43,7 @@ impl SpanKind {
             SpanKind::StageCommit => "tick.commit",
             SpanKind::MatcherAssign => "matcher.assign",
             SpanKind::RegionRun => "region.run",
+            SpanKind::ShardTick => "shard.tick",
         }
     }
 }
@@ -105,6 +108,14 @@ pub enum CounterKind {
     FaultCompletionsDuplicated,
     /// Extra tasks injected by burst arrivals (fault plan).
     FaultBurstTasks,
+    /// Queued tasks handed from a collapsed shard to a neighbour shard.
+    ShardHandoffs,
+    /// Idle workers relocated between adjacent shards by the periodic
+    /// rebalance pass.
+    ShardWorkersRebalanced,
+    /// Tasks refused at submission because the target shard's open-task
+    /// count hit its hard admission cap.
+    ShardAdmissionShed,
 }
 
 impl CounterKind {
@@ -136,6 +147,9 @@ impl CounterKind {
             CounterKind::FaultCompletionsLost => "fault.completions_lost",
             CounterKind::FaultCompletionsDuplicated => "fault.completions_duplicated",
             CounterKind::FaultBurstTasks => "fault.burst_tasks",
+            CounterKind::ShardHandoffs => "shard.handoffs",
+            CounterKind::ShardWorkersRebalanced => "shard.workers_rebalanced",
+            CounterKind::ShardAdmissionShed => "shard.admission_shed",
         }
     }
 }
@@ -241,6 +255,7 @@ mod tests {
             SpanKind::StageCommit,
             SpanKind::MatcherAssign,
             SpanKind::RegionRun,
+            SpanKind::ShardTick,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for s in spans {
@@ -272,6 +287,9 @@ mod tests {
             CounterKind::FaultCompletionsLost,
             CounterKind::FaultCompletionsDuplicated,
             CounterKind::FaultBurstTasks,
+            CounterKind::ShardHandoffs,
+            CounterKind::ShardWorkersRebalanced,
+            CounterKind::ShardAdmissionShed,
         ];
         for c in counters {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());

@@ -17,6 +17,9 @@
 //!   end-to-end simulation runner;
 //! * [`faults`] — declarative fault-injection plans (dropout,
 //!   stragglers, message loss/duplication, bursts) for chaos runs;
+//! * [`cluster`] — sharded cluster mode: one server per router cell with
+//!   cross-shard task handoff, idle-worker rebalancing and admission
+//!   caps;
 //! * [`sim`] — the discrete-event kernel;
 //! * [`geo`] — regions, routing and distances;
 //! * [`runtime`] — the live threaded deployment;
@@ -47,6 +50,7 @@
 //! assert!(done.met_deadline);
 //! ```
 
+pub use react_cluster as cluster;
 pub use react_core as core;
 pub use react_crowd as crowd;
 pub use react_faults as faults;

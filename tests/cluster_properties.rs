@@ -1,0 +1,143 @@
+//! Property-based tests over the cluster layer (proptest).
+//!
+//! The invariants the sharded mode must hold for *every* policy and
+//! fault plan, not just the golden scenarios:
+//!
+//! 1. **conservation** — no task is lost or duplicated across handoffs,
+//!    rebalances, admission sheds and faults: completed + expired +
+//!    admission-shed + stranded == received, handoffs-out == handoffs-in,
+//!    and the worker population is conserved across rebalances;
+//! 2. **determinism** — serial and parallel shard execution produce
+//!    bit-identical reports under any policy/fault combination;
+//! 3. **auditability** — every shard's lifecycle log stays well-formed
+//!    (`Submitted … HandedOff` / fresh `Submitted` on the receiving
+//!    shard), including tasks that bounce between shards.
+
+use proptest::prelude::*;
+use react::cluster::{
+    AdmissionPolicy, ClusterPolicy, ClusterRunner, ClusterScenario, HandoffPolicy, RebalancePolicy,
+};
+use react::core::{verify_lifecycles, MatcherPolicy, TaskEventKind};
+use react::crowd::Scenario;
+use react::faults::{DropoutPlan, FaultPlan};
+
+/// Strategy: an arbitrary cluster policy mixing the three mechanisms.
+fn arb_policy() -> impl Strategy<Value = ClusterPolicy> {
+    (
+        proptest::option::of((1usize..10, 1usize..12)),
+        proptest::option::of((1u64..6, 0usize..4, 1usize..6)),
+        proptest::option::of(4usize..60),
+    )
+        .prop_map(|(handoff, rebalance, admission)| ClusterPolicy {
+            split_threshold: u64::MAX,
+            handoff: handoff.map(|(pool_floor, max_per_tick)| HandoffPolicy {
+                pool_floor,
+                max_per_tick,
+            }),
+            rebalance: rebalance.map(|(period_ticks, min_idle, max_moves)| RebalancePolicy {
+                period_ticks,
+                min_idle,
+                max_moves,
+            }),
+            admission: admission.map(|max_open_tasks| AdmissionPolicy { max_open_tasks }),
+        })
+}
+
+/// Strategy: an optional dropout-heavy fault plan (the fault kind that
+/// exercises handoff hardest — pools collapse and queues must move).
+fn arb_faults() -> impl Strategy<Value = Option<FaultPlan>> {
+    proptest::option::of((0.0f64..=0.8, any::<bool>())).prop_map(|spec| {
+        spec.map(|(probability, rejoin)| FaultPlan {
+            dropout: Some(DropoutPlan {
+                probability,
+                window: (1.0, 25.0),
+                offline_range: rejoin.then_some((10.0, 40.0)),
+            }),
+            ..FaultPlan::none()
+        })
+    })
+}
+
+fn scenario(
+    seed: u64,
+    rows: u32,
+    cols: u32,
+    policy: ClusterPolicy,
+    faults: Option<FaultPlan>,
+) -> ClusterScenario {
+    let mut global = Scenario::smoke(MatcherPolicy::React { cycles: 100 }, seed);
+    global.n_workers = 40;
+    global.arrival_rate = 4.0;
+    global.total_tasks = 120;
+    global.drain_horizon = 150.0;
+    global.config.audit = true;
+    global.faults = faults;
+    ClusterScenario {
+        global,
+        rows,
+        cols,
+        policy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant 1: conservation under arbitrary policies and faults.
+    #[test]
+    fn no_task_is_lost_or_duplicated(
+        seed in 0u64..1_000,
+        rows in 1u32..3,
+        cols in 1u32..3,
+        policy in arb_policy(),
+        faults in arb_faults(),
+    ) {
+        let r = ClusterRunner::new(scenario(seed, rows, cols, policy, faults)).run_serial();
+        prop_assert_eq!(r.received, 120);
+        prop_assert_eq!(r.unroutable, 0);
+        prop_assert!(r.conserved(), "conservation violated: {:?}", r);
+        let workers: usize = r.shards.iter().map(|s| s.workers_final).sum();
+        prop_assert_eq!(workers, 40, "worker population not conserved");
+    }
+
+    /// Invariant 2: serial and parallel shard execution are
+    /// bit-identical whatever the policy and fault plan.
+    #[test]
+    fn serial_and_parallel_shard_execution_bit_identical(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+        faults in arb_faults(),
+    ) {
+        let runner = ClusterRunner::new(scenario(seed, 2, 2, policy, faults));
+        let serial = runner.run_serial();
+        let parallel = runner.run_parallel();
+        prop_assert!(serial.identical(&parallel), "serial/parallel divergence");
+    }
+
+    /// Invariant 3: every shard's audit log verifies, and handoff
+    /// events balance across the logs (each HandedOff is matched by a
+    /// fresh Submitted on some shard).
+    #[test]
+    fn audit_lifecycles_stay_well_formed_across_handoffs(
+        seed in 0u64..1_000,
+        policy in arb_policy(),
+        faults in arb_faults(),
+    ) {
+        let r = ClusterRunner::new(scenario(seed, 2, 2, policy, faults)).run_serial();
+        let mut handed_off = 0u64;
+        for shard in &r.shards {
+            let log = shard.audit.as_ref().expect("audit enabled");
+            verify_lifecycles(log);
+            handed_off += log
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, TaskEventKind::HandedOff))
+                .count() as u64;
+        }
+        prop_assert_eq!(
+            handed_off,
+            r.handoffs(),
+            "audited handoffs must match the cluster counters"
+        );
+    }
+}

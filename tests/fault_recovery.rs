@@ -28,6 +28,7 @@ fn kinds(events: &[react::core::TaskEvent]) -> Vec<&'static str> {
             TaskEventKind::Completed { .. } => "completed",
             TaskEventKind::Expired => "expired",
             TaskEventKind::Shed => "shed",
+            TaskEventKind::HandedOff => "handed_off",
         })
         .collect()
 }
