@@ -5,9 +5,21 @@
 //! ambient wall-clock or RNG in scheduling code), library crates must
 //! surface failures as typed errors rather than panics, and weighted
 //! edges must never be compared with exact float equality. This crate is
-//! a small, fully offline, token-level lint engine that enforces those
+//! a small, fully offline static analysis engine that enforces those
 //! project rules over the workspace's `.rs` files — no rustc plugin, no
 //! network, no third-party parser.
+//!
+//! Two layers:
+//!
+//! * **token rules** ([`rules`]) match patterns over comment/string
+//!   stripped code lines;
+//! * **symbol-aware rules** ([`parser`], [`symbols`]) run over a
+//!   lightweight item-level parse (items, enum variants, typed bindings,
+//!   string literals with call-site callees, `.spawn(` closure spans)
+//!   plus a cross-file symbol table — unordered hash iteration in
+//!   scheduling-visible crates, RNG stream discipline across thread
+//!   boundaries, observer-catalog consistency, and audit-event
+//!   transition-table exhaustiveness.
 //!
 //! The engine is rule-driven ([`rules`]), walks the workspace
 //! ([`workspace`]), and ratchets existing violations through a checked-in
@@ -25,9 +37,12 @@
 //! covered by the baseline, which is how CI consumes it.
 
 pub mod baseline;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 pub use baseline::Baseline;
 pub use rules::{Rule, Violation};
+pub use symbols::{FileAnalysis, SymbolTable};
 pub use workspace::{CheckOutcome, Workspace};

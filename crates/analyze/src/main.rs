@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run -p react-analyze                  # check against analyze-baseline.toml
 //! cargo run -p react-analyze -- --write-baseline
-//! cargo run -p react-analyze -- --list        # print every violation, incl. grandfathered
+//! cargo run -p react-analyze -- --list        # rule registry + every violation
+//! cargo run -p react-analyze -- --explain <rule>  # what a rule means + how to fix
 //! cargo run -p react-analyze -- --root <dir>  # explicit workspace root
 //! ```
 //!
@@ -16,12 +17,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use react_analyze::baseline::Divergence;
-use react_analyze::Workspace;
+use react_analyze::rules::ALL_RULES;
+use react_analyze::{Rule, Workspace};
 
 struct Options {
     root: Option<PathBuf>,
     write_baseline: bool,
     list: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -29,25 +32,70 @@ fn parse_args() -> Result<Options, String> {
         root: None,
         write_baseline: false,
         list: false,
+        explain: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--write-baseline" => opts.write_baseline = true,
             "--list" => opts.list = true,
+            "--explain" => {
+                let value = args
+                    .next()
+                    .ok_or("--explain needs a rule name (or 'all')")?;
+                opts.explain = Some(value);
+            }
             "--root" => {
                 let value = args.next().ok_or("--root needs a path")?;
                 opts.root = Some(PathBuf::from(value));
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: react-analyze [--root <dir>] [--write-baseline] [--list]".to_string(),
+                    "usage: react-analyze [--root <dir>] [--write-baseline] [--list] \
+                     [--explain <rule>|all]"
+                        .to_string(),
                 )
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
     Ok(opts)
+}
+
+/// Prints the explanation block for one rule.
+fn print_explain(rule: Rule) {
+    let (what, fix) = rule.explain();
+    println!("{}", rule.name());
+    println!("  why: {what}");
+    println!("  fix: {fix}");
+}
+
+/// Handles `--explain <rule>` / `--explain all`. Returns the exit code.
+fn run_explain(arg: &str) -> ExitCode {
+    if arg == "all" {
+        for rule in ALL_RULES {
+            print_explain(rule);
+            println!();
+        }
+        return ExitCode::SUCCESS;
+    }
+    match Rule::from_name(arg) {
+        Some(rule) => {
+            print_explain(rule);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "react-analyze: unknown rule {arg:?}; known rules: {}",
+                ALL_RULES
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// The workspace root: `--root` if given, else two levels above this
@@ -73,6 +121,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(arg) = &opts.explain {
+        return run_explain(arg);
+    }
     let root = resolve_root(&opts);
     let workspace = match Workspace::open(&root) {
         Ok(ws) => ws,
@@ -106,6 +157,12 @@ fn main() -> ExitCode {
     }
 
     if opts.list {
+        // Rule registry first — CI smoke-checks this block to catch
+        // registry drift (a rule added without docs/baseline support).
+        println!("rules ({}):", ALL_RULES.len());
+        for rule in ALL_RULES {
+            println!("  {}", rule.name());
+        }
         for v in &outcome.violations {
             println!("{v}");
         }
@@ -133,13 +190,23 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     eprintln!("react-analyze: FAIL");
+    let mut failed_rules: Vec<&'static str> = Vec::new();
     for d in &divergences {
         eprintln!("  {d}");
-        if let Divergence::Exceeded { violations, .. } = d {
+        if let Divergence::Exceeded {
+            rule, violations, ..
+        } = d
+        {
+            if !failed_rules.contains(&rule.name()) {
+                failed_rules.push(rule.name());
+            }
             for v in violations {
                 eprintln!("    {}:{}: {}", v.file, v.line, v.snippet);
             }
         }
+    }
+    for name in failed_rules {
+        eprintln!("  run `cargo run -p react-analyze -- --explain {name}` for fix guidance");
     }
     eprintln!(
         "{} divergence(s) from the baseline ({} file(s) scanned)",

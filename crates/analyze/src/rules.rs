@@ -50,21 +50,58 @@ pub enum Rule {
     /// *only* inside test code (`tests/` trees, `benches/`,
     /// `#[cfg(test)]` regions).
     NoSleepInTests,
+    /// No unordered iteration over `HashMap`/`HashSet` bindings in
+    /// scheduling-visible crates (`core`, `matching`, `cluster`, `crowd`,
+    /// `faults`): hash iteration order varies across runs and toolchains,
+    /// so any scheduling decision downstream of it silently breaks the
+    /// serial ≡ parallel bit-identity guarantee. Symbol-aware: fires on
+    /// `for`-loops and `.iter()`/`.keys()`/`.values()`/`.drain()` calls
+    /// whose receiver resolves to a binding declared with a hash-ordered
+    /// type in the same file, unless the surrounding statement sorts or
+    /// collects into a `BTreeMap`/`BTreeSet` first.
+    UnorderedHashIter,
+    /// Every RNG must derive from a named stream: flags magic literal
+    /// seeds (`seed_from_u64(42)` — use `RngStreams::stream("label")`,
+    /// which SplitMix64-derives from the master seed) and RNG bindings
+    /// declared *outside* a closure that is passed across a `.spawn(`
+    /// thread boundary (shared RNG state across scoped threads makes
+    /// draw order depend on interleaving). Complements `no-ambient-rng`,
+    /// which catches `thread_rng`/`from_entropy` construction.
+    RngStreamDiscipline,
+    /// Observer-catalog consistency: every dotted metric-name string
+    /// literal passed to a `counter(`/`histogram(`/`span(`/`series(`
+    /// call site must name an entry of the catalog declared in
+    /// `crates/obs` (the `SpanKind`/`CounterKind`/`HistogramKind`
+    /// `name()` tables), and every catalog variant must be referenced
+    /// somewhere outside `crates/obs` — an unknown name is a typo that
+    /// silently records to a dead series, and an unreferenced variant is
+    /// a dead catalog entry.
+    ObsCatalog,
+    /// Audit-event exhaustiveness: every `TaskEventKind` variant must
+    /// appear in the lifecycle transition table that
+    /// `verify_lifecycles` consults (`crates/core/src/events.rs`), so a
+    /// new event kind cannot ship without a legality rule for replay
+    /// verification.
+    AuditEventExhaustiveness,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::NoWallClock,
     Rule::NoAmbientRng,
     Rule::NoPanicInLib,
     Rule::NoFloatEq,
     Rule::FeatureGateHygiene,
     Rule::NoSleepInTests,
+    Rule::UnorderedHashIter,
+    Rule::RngStreamDiscipline,
+    Rule::ObsCatalog,
+    Rule::AuditEventExhaustiveness,
 ];
 
 /// Whether `path` (workspace-relative, forward slashes) is a test-only
 /// tree: integration tests, benches, or demo code.
-fn in_test_tree(path: &str) -> bool {
+pub(crate) fn in_test_tree(path: &str) -> bool {
     path.contains("/tests/")
         || path.starts_with("tests/")
         || path.contains("/benches/")
@@ -82,6 +119,97 @@ impl Rule {
             Rule::NoFloatEq => "no-float-eq",
             Rule::FeatureGateHygiene => "feature-gate-hygiene",
             Rule::NoSleepInTests => "no-sleep-in-tests",
+            Rule::UnorderedHashIter => "unordered-hash-iter",
+            Rule::RngStreamDiscipline => "rng-stream-discipline",
+            Rule::ObsCatalog => "obs-catalog",
+            Rule::AuditEventExhaustiveness => "audit-event-exhaustiveness",
+        }
+    }
+
+    /// A one-paragraph explanation plus concrete fix guidance, for
+    /// `react-analyze --explain <rule>`.
+    pub fn explain(&self) -> (&'static str, &'static str) {
+        match self {
+            Rule::NoWallClock => (
+                "Scheduling code must never observe real time: `Instant::now()`, \
+                 `SystemTime::now()` and `.elapsed()` make decisions depend on host load, \
+                 which breaks bit-identical replay from a seed.",
+                "Thread simulated time through explicitly (crowd-seconds), measure spans \
+                 with `react_obs::SpanTimer`, and keep real-time conversion inside \
+                 `react-runtime`'s `ScaledClock`.",
+            ),
+            Rule::NoAmbientRng => (
+                "`thread_rng()` / `from_entropy()` / `rand::random` pull entropy from the \
+                 OS, so two runs with the same master seed diverge.",
+                "Take an `&mut impl Rng` parameter, or derive a stream with \
+                 `react_sim::rng::RngStreams::stream(\"label\")` — every draw then replays \
+                 from the master seed.",
+            ),
+            Rule::NoPanicInLib => (
+                "`unwrap()` / `expect()` / `panic!` in `react-core`, `react-matching` or \
+                 `react-prob` turns a recoverable condition into a process abort inside \
+                 the scheduling loop.",
+                "Return `Result<_, ReactError>` (or keep the invariant in a \
+                 `debug_assert!`, which vanishes in release builds).",
+            ),
+            Rule::NoFloatEq => (
+                "Edge weights and fitness values are computed `f64`s; `==`/`!=` against a \
+                 float literal is a latent always-false (or flaky) comparison.",
+                "Compare against an epsilon band, use total ordering (`total_cmp`), or \
+                 restate the condition on the integer quantity that produced the float.",
+            ),
+            Rule::FeatureGateHygiene => (
+                "A `#[cfg(feature = \"name\")]` whose name is not declared in the owning \
+                 crate's Cargo.toml compiles to silently-dead code.",
+                "Declare the feature under `[features]` in the crate manifest, or fix the \
+                 typo in the gate.",
+            ),
+            Rule::NoSleepInTests => (
+                "`thread::sleep` in tests couples the suite to wall time: slow at best, \
+                 flaky under CI load at worst.",
+                "Sleep through the scaled clock (`thread::sleep(clock.to_wall(crowd_secs))`) \
+                 so waits shrink with the test clock, or restructure the test to run in \
+                 simulated time.",
+            ),
+            Rule::UnorderedHashIter => (
+                "Iterating a `HashMap`/`HashSet` yields an arbitrary, run-dependent order; \
+                 in scheduling-visible crates any decision downstream of that order breaks \
+                 the serial ≡ parallel bit-identity guarantee probabilistically — exactly \
+                 the class of bug proptests only catch sometimes.",
+                "Switch the binding to `BTreeMap`/`BTreeSet`, or sort before use \
+                 (`let mut v: Vec<_> = m.iter().collect(); v.sort_by_key(...)`), or collect \
+                 into a `BTreeMap` in the same statement. Order-insensitive reductions \
+                 (counting, summing) may carry `// analyze: allow(unordered-hash-iter) \
+                 <why>` with a justification.",
+            ),
+            Rule::RngStreamDiscipline => (
+                "A magic literal seed (`seed_from_u64(42)`) is not derived from the master \
+                 seed, so it cannot be replayed or swept; an RNG captured by a closure \
+                 crossing a `.spawn(` boundary makes draw order depend on thread \
+                 interleaving.",
+                "Derive RNGs from named streams: `RngStreams::new(master).stream(\"label\")` \
+                 or `stream_indexed(\"label\", i)` for per-shard streams — each spawned \
+                 closure must construct its own stream inside the closure body.",
+            ),
+            Rule::ObsCatalog => (
+                "Metric names are declared once in `crates/obs` (`SpanKind` / `CounterKind` \
+                 / `HistogramKind` and their `name()` tables). A dotted name at a \
+                 `counter(`/`histogram(`/`span(`/`series(` call site that is not in the \
+                 catalog records to a series no dashboard knows; a catalog variant never \
+                 referenced outside `crates/obs` is dead weight.",
+                "Fix the typo at the call site, or add the name to the catalog enum in \
+                 `crates/obs/src/observer.rs`; delete (or wire up) dead variants. Derived \
+                 `<name>.count` series from indexed counters are recognised automatically.",
+            ),
+            Rule::AuditEventExhaustiveness => (
+                "`verify_lifecycles` replays the audit log against a per-task legality \
+                 table; a `TaskEventKind` variant missing from that table means the new \
+                 event ships without any replay-time legality rule (PR 6's `HandedOff` \
+                 almost did).",
+                "Add a transition arm for the variant inside `fn verify_lifecycles` in \
+                 `crates/core/src/events.rs` — both the states it is legal from and the \
+                 state it moves the task to.",
+            ),
         }
     }
 
@@ -96,7 +224,10 @@ impl Rule {
     /// hygiene, which is checked by the workspace walker separately.
     pub fn applies_to(&self, path: &str) -> bool {
         if in_test_tree(path) {
-            return matches!(self, Rule::FeatureGateHygiene | Rule::NoSleepInTests);
+            return matches!(
+                self,
+                Rule::FeatureGateHygiene | Rule::NoSleepInTests | Rule::ObsCatalog
+            );
         }
         match self {
             Rule::NoWallClock => {
@@ -112,12 +243,29 @@ impl Rule {
             Rule::FeatureGateHygiene => true,
             // `#[cfg(test)]` modules live inside crate sources too.
             Rule::NoSleepInTests => true,
+            Rule::UnorderedHashIter => [
+                "crates/core/src/",
+                "crates/matching/src/",
+                "crates/cluster/src/",
+                "crates/crowd/src/",
+                "crates/faults/src/",
+            ]
+            .iter()
+            .any(|p| path.starts_with(p)),
+            Rule::RngStreamDiscipline => path != "crates/sim/src/rng.rs",
+            Rule::ObsCatalog => true,
+            // The transition table lives in one file; violations are
+            // reported at the variant declarations there.
+            Rule::AuditEventExhaustiveness => path == "crates/core/src/events.rs",
         }
     }
 
     /// Whether violations inside `#[cfg(test)]` regions count.
     pub fn applies_to_test_code(&self) -> bool {
-        matches!(self, Rule::FeatureGateHygiene | Rule::NoSleepInTests)
+        matches!(
+            self,
+            Rule::FeatureGateHygiene | Rule::NoSleepInTests | Rule::ObsCatalog
+        )
     }
 
     /// Whether the rule fires *only* inside test code (test trees and
@@ -225,7 +373,7 @@ impl ScannedFile {
         }
     }
 
-    fn allowed(&self, line_idx: usize, rule: Rule) -> bool {
+    pub(crate) fn allowed(&self, line_idx: usize, rule: Rule) -> bool {
         self.file_allows.contains(&rule)
             || self
                 .line_allows
@@ -291,7 +439,7 @@ impl ScannedFile {
         out
     }
 
-    fn violation(&self, rule: Rule, line_idx: usize) -> Violation {
+    pub(crate) fn violation(&self, rule: Rule, line_idx: usize) -> Violation {
         Violation {
             rule,
             file: self.path.clone(),
@@ -328,6 +476,11 @@ fn line_matches(rule: Rule, code: &str) -> bool {
             // conversion; a sleep through it scales with the test clock.
             code.contains("thread::sleep") && !code.contains("to_wall(")
         }
+        // Symbol-aware rules run from `crate::symbols`, not per line.
+        Rule::UnorderedHashIter
+        | Rule::RngStreamDiscipline
+        | Rule::ObsCatalog
+        | Rule::AuditEventExhaustiveness => false,
     }
 }
 

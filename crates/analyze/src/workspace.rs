@@ -7,7 +7,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::{Baseline, Divergence};
-use crate::rules::{ScannedFile, Violation};
+use crate::rules::Violation;
+use crate::symbols::{self, FileAnalysis, SymbolTable};
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", ".github"];
@@ -79,21 +80,39 @@ impl Workspace {
 
         let mut features: BTreeMap<PathBuf, Vec<String>> = BTreeMap::new();
         let mut outcome = CheckOutcome::default();
+        let mut analyses = Vec::with_capacity(files.len());
         for path in &files {
             let rel = relative_slash_path(&self.root, path);
             let source = fs::read_to_string(path)?;
-            let scanned = ScannedFile::new(&rel, &source);
-            outcome.violations.extend(scanned.check_token_rules());
+            let analysis = FileAnalysis::new(&rel, &source);
+            outcome
+                .violations
+                .extend(analysis.scanned.check_token_rules());
             if let Some(manifest_dir) = owning_manifest_dir(&self.root, path) {
                 let declared = features.entry(manifest_dir.clone()).or_insert_with(|| {
                     declared_features(&manifest_dir.join("Cargo.toml")).unwrap_or_default()
                 });
                 outcome
                     .violations
-                    .extend(scanned.check_feature_gates(declared));
+                    .extend(analysis.scanned.check_feature_gates(declared));
             }
+            outcome
+                .violations
+                .extend(symbols::check_unordered_iter(&analysis));
+            outcome
+                .violations
+                .extend(symbols::check_rng_discipline(&analysis));
+            analyses.push(analysis);
             outcome.files_scanned += 1;
         }
+        // Workspace-level rules need the cross-file symbol table.
+        let table = SymbolTable::build(&analyses);
+        outcome
+            .violations
+            .extend(table.check_obs_catalog(&analyses));
+        outcome
+            .violations
+            .extend(table.check_audit_exhaustiveness(&analyses));
         outcome
             .violations
             .sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));

@@ -18,7 +18,7 @@ use react_core::{
 use react_core::{TaskId, WorkerId};
 use react_geo::{BoundingBox, GeoPoint, RegionGrid, RegionRouter, ServerId};
 use react_obs::{null_observer, CounterKind, ObserverHandle, SpanKind, SpanTimer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One shard: a server bound to a router leaf cell.
 #[derive(Debug)]
@@ -80,9 +80,9 @@ pub struct Cluster {
     router: RegionRouter,
     shards: Vec<Shard>,
     /// `ServerId` → index into `shards`.
-    index: HashMap<ServerId, usize>,
+    index: BTreeMap<ServerId, usize>,
     /// Each registered worker's current shard index.
-    worker_shard: HashMap<WorkerId, usize>,
+    worker_shard: BTreeMap<WorkerId, usize>,
     policy: ClusterPolicy,
     observer: ObserverHandle,
     /// The dedicated `cluster.rebalance` stream: relocated workers draw
@@ -127,7 +127,7 @@ impl Cluster {
         router.reset_loads();
 
         let mut shards = Vec::new();
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         for (i, id) in router.leaves().into_iter().enumerate() {
             let bounds = router.bounds(id).expect("leaf has bounds");
             let server = ReactServer::builder(config.clone())
@@ -142,7 +142,7 @@ impl Cluster {
             router,
             shards,
             index,
-            worker_shard: HashMap::new(),
+            worker_shard: BTreeMap::new(),
             policy,
             observer,
             rebalance_rng,

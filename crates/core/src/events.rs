@@ -15,7 +15,7 @@
 //! scenarios.
 
 use crate::ids::{TaskId, WorkerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What happened to a task.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,7 +120,7 @@ pub fn verify_lifecycles(log: &AuditLog) -> usize {
         /// legally re-enter this log: a later handoff can bring it back.
         Departed,
     }
-    let mut states: HashMap<TaskId, (State, f64)> = HashMap::new();
+    let mut states: BTreeMap<TaskId, (State, f64)> = BTreeMap::new();
     for e in log.events() {
         let (state, last_at) = states
             .entry(e.task)

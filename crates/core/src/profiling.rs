@@ -12,7 +12,7 @@ use crate::error::CoreError;
 use crate::ids::{TaskCategory, WorkerId};
 use react_geo::GeoPoint;
 use react_prob::{EstimatorConfig, ExecTimeEstimator, FittedModel, PowerLaw};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A worker's availability as tracked by the profiler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub struct WorkerProfile {
     id: WorkerId,
     location: GeoPoint,
     availability: Availability,
-    by_category: HashMap<TaskCategory, CategoryStats>,
+    by_category: BTreeMap<TaskCategory, CategoryStats>,
     estimator: ExecTimeEstimator,
     assignments_served: u64,
     reward_range: Option<(f64, f64)>,
@@ -61,7 +61,7 @@ impl WorkerProfile {
             id,
             location,
             availability: Availability::Available,
-            by_category: HashMap::new(),
+            by_category: BTreeMap::new(),
             estimator: ExecTimeEstimator::new(estimator_config),
             assignments_served: 0,
             reward_range: None,
@@ -195,15 +195,13 @@ impl WorkerProfile {
     }
 
     /// Per-category feedback tallies as `(category, finished, positive)`
-    /// triples, sorted by category (for deterministic checkpoints).
+    /// triples, sorted by category (for deterministic checkpoints — the
+    /// `BTreeMap` already iterates in key order).
     pub fn category_stats(&self) -> Vec<(TaskCategory, u64, u64)> {
-        let mut v: Vec<(TaskCategory, u64, u64)> = self
-            .by_category
+        self.by_category
             .iter()
             .map(|(c, s)| (*c, s.finished, s.positive))
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// The retained execution-time samples, in observation order.
@@ -215,7 +213,7 @@ impl WorkerProfile {
 /// Registry of worker profiles.
 #[derive(Debug, Clone)]
 pub struct ProfilingComponent {
-    workers: HashMap<WorkerId, WorkerProfile>,
+    workers: BTreeMap<WorkerId, WorkerProfile>,
     estimator_config: EstimatorConfig,
     /// Source of fresh [`WorkerProfile::epoch`] values. Strictly
     /// increasing across the component's lifetime, so a deregistered and
@@ -235,7 +233,7 @@ impl ProfilingComponent {
     /// `estimator_config`.
     pub fn new(estimator_config: EstimatorConfig) -> Self {
         ProfilingComponent {
-            workers: HashMap::new(),
+            workers: BTreeMap::new(),
             estimator_config,
             next_epoch: 0,
         }
@@ -371,33 +369,28 @@ impl ProfilingComponent {
     }
 
     /// Ids of all currently available workers, in sorted order for
-    /// deterministic graph construction.
+    /// deterministic graph construction (the `BTreeMap` iterates in
+    /// ascending id order).
     pub fn available_workers(&self) -> Vec<WorkerId> {
-        let mut ids: Vec<WorkerId> = self
-            .workers
+        self.workers
             .values()
             .filter(|p| p.availability == Availability::Available)
             .map(|p| p.id)
-            .collect();
-        ids.sort();
-        ids
+            .collect()
     }
 
     /// Ids of all online (available **or** busy) workers, sorted. This is
     /// the Traditional policy's pool: AMT-style systems have no
     /// availability signal, so busy workers receive work too.
     pub fn online_workers(&self) -> Vec<WorkerId> {
-        let mut ids: Vec<WorkerId> = self
-            .workers
+        self.workers
             .values()
             .filter(|p| p.availability != Availability::Offline)
             .map(|p| p.id)
-            .collect();
-        ids.sort();
-        ids
+            .collect()
     }
 
-    /// Iterates over all profiles (arbitrary order).
+    /// Iterates over all profiles, in ascending worker-id order.
     pub fn iter(&self) -> impl Iterator<Item = &WorkerProfile> {
         self.workers.values()
     }

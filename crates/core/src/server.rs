@@ -28,7 +28,7 @@ use rand::SeedableRng;
 use react_geo::GeoPoint;
 use react_matching::{CostModel, MatcherEngine};
 use react_obs::{null_observer, CounterKind, HistogramKind, ObserverHandle, SpanKind, SpanTimer};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Wall-clock seconds spent in each named stage of one tick's pipeline
 /// (expire → recall → build → match → commit).
@@ -233,7 +233,7 @@ pub struct ReactServer {
     observer: ObserverHandle,
     /// Consecutive progress timeouts per worker since their last
     /// completion (the suspicion ladder's strike counter).
-    timeout_strikes: HashMap<WorkerId, u32>,
+    timeout_strikes: BTreeMap<WorkerId, u32>,
     /// Incremental graph builder: persistent arenas + epoch-keyed row
     /// cache reused across batches (see [`BatchScratch`]).
     scratch: BatchScratch,
@@ -272,7 +272,7 @@ impl ReactServer {
             batches_run: 0,
             audit,
             observer,
-            timeout_strikes: HashMap::new(),
+            timeout_strikes: BTreeMap::new(),
             scratch: BatchScratch::new(),
         }
     }

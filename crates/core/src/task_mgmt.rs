@@ -9,7 +9,7 @@
 use crate::error::CoreError;
 use crate::ids::{TaskId, WorkerId};
 use crate::task::{Task, TaskState};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A tracked task: description + dynamic state.
 #[derive(Debug, Clone)]
@@ -57,7 +57,7 @@ impl TaskRecord {
 /// Registry and lifecycle manager for tasks.
 #[derive(Debug, Clone, Default)]
 pub struct TaskManagementComponent {
-    tasks: HashMap<TaskId, TaskRecord>,
+    tasks: BTreeMap<TaskId, TaskRecord>,
     /// Unassigned tasks in submission/recall order (deterministic
     /// scheduling input).
     unassigned: Vec<TaskId>,
@@ -295,7 +295,7 @@ impl TaskManagementComponent {
         before - self.tasks.len()
     }
 
-    /// Iterates over all records (arbitrary order).
+    /// Iterates over all records, in ascending task-id order.
     pub fn iter(&self) -> impl Iterator<Item = &TaskRecord> {
         self.tasks.values()
     }

@@ -26,7 +26,7 @@ use react_metrics::TimeSeries;
 use react_obs::{null_observer, CounterKind, ObserverHandle};
 use react_prob::distributions::{Exponential, UniformRange};
 use react_sim::{RngStreams, SimDuration, SimTime, Simulator};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Task ids at or above this base are injected burst tasks: far outside
 /// the sequential generator id space and the replica-id arithmetic
@@ -298,10 +298,10 @@ impl ScenarioRunner {
             groups_any_met: 0,
             faults: FaultStats::default(),
         };
-        let mut epochs: HashMap<TaskId, u32> = HashMap::new();
+        let mut epochs: BTreeMap<TaskId, u32> = BTreeMap::new();
         // Replica bookkeeping: group id → (resolved, positive, met).
         let k = sc.replication.max(1);
-        let mut group_state: HashMap<u64, (usize, usize, bool)> = HashMap::new();
+        let mut group_state: BTreeMap<u64, (usize, usize, bool)> = BTreeMap::new();
         // Per-worker FIFO release time. Availability-aware policies never
         // double-book a worker, but the Traditional policy assigns
         // blindly: later tasks queue behind the worker's current one.
@@ -611,7 +611,7 @@ impl ScenarioRunner {
         now: f64,
         behaviors: &[WorkerBehavior],
         behavior_rng: &mut rand::rngs::SmallRng,
-        epochs: &mut HashMap<TaskId, u32>,
+        epochs: &mut BTreeMap<TaskId, u32>,
         next_free: &mut [f64],
         sim: &mut Simulator<Event>,
         report: &mut RunReport,

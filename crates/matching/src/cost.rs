@@ -23,12 +23,12 @@
 //! The experiment harness can also bypass the model and use measured Rust
 //! wall-clock time; both series are reported in `EXPERIMENTS.md`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-algorithm coefficients mapping cost units to simulated seconds.
 #[derive(Debug, Clone)]
 pub struct CostModel {
-    coefficients: HashMap<&'static str, f64>,
+    coefficients: BTreeMap<&'static str, f64>,
     default_coefficient: f64,
 }
 
@@ -42,7 +42,7 @@ impl CostModel {
     /// The model calibrated to the paper's Fig. 3 anchors (see module
     /// docs).
     pub fn paper_calibrated() -> Self {
-        let mut coefficients = HashMap::new();
+        let mut coefficients = BTreeMap::new();
         coefficients.insert("react", 1.35e-8);
         coefficients.insert("metropolis", 1.35e-8);
         coefficients.insert("greedy", 9.97e-8);
@@ -60,7 +60,7 @@ impl CostModel {
     /// matching quality from scheduling latency).
     pub fn free() -> Self {
         CostModel {
-            coefficients: HashMap::new(),
+            coefficients: BTreeMap::new(),
             default_coefficient: 0.0,
         }
     }

@@ -38,7 +38,7 @@ impl EmpiricalDist {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
+        sorted.sort_by(f64::total_cmp);
         Some(EmpiricalDist { sorted })
     }
 
@@ -59,7 +59,7 @@ impl EmpiricalDist {
 
     /// Largest sample.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// CDF `Pr(K < k)`: fraction of samples strictly below `k`.

@@ -240,7 +240,7 @@ impl PowerLaw {
         if scratch.is_empty() {
             return 1.0;
         }
-        scratch.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        scratch.sort_by(f64::total_cmp);
         let n = scratch.len() as f64;
         let mut d = 0.0f64;
         for (i, &x) in scratch.iter().enumerate() {

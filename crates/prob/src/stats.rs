@@ -114,7 +114,7 @@ impl Summary {
             return None;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        sorted.sort_by(f64::total_cmp);
         let mut acc = Welford::new();
         for &s in samples {
             acc.push(s);
@@ -122,8 +122,8 @@ impl Summary {
         Some(Summary {
             count: samples.len(),
             min: sorted[0],
-            max: *sorted.last().expect("non-empty"),
-            mean: acc.mean().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
+            mean: acc.mean()?,
             std_dev: acc.std_dev().unwrap_or(0.0),
             p50: percentile_sorted(&sorted, 0.50),
             p90: percentile_sorted(&sorted, 0.90),

@@ -113,6 +113,7 @@ mod tests {
         Sender<WorkerCommand>,
         Receiver<Completion>,
         std::thread::JoinHandle<()>,
+        ScaledClock,
     ) {
         let (cmd_tx, cmd_rx) = unbounded();
         let (done_tx, done_rx) = unbounded();
@@ -120,12 +121,12 @@ mod tests {
         let handle = std::thread::spawn(move || {
             run_worker_host(WorkerId(1), quality, clock, cmd_rx, done_tx)
         });
-        (cmd_tx, done_rx, handle)
+        (cmd_tx, done_rx, handle, clock)
     }
 
     #[test]
     fn completes_assignment_after_service_time() {
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, _clock) = spawn_host(1.0);
         cmd.send(WorkerCommand::Assign {
             task: TaskId(7),
             exec_crowd_secs: 20.0, // 20 wall-ms
@@ -141,13 +142,13 @@ mod tests {
 
     #[test]
     fn recall_aborts_execution() {
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, clock) = spawn_host(1.0);
         cmd.send(WorkerCommand::Assign {
             task: TaskId(1),
-            exec_crowd_secs: 60_000.0, // one wall-minute: must not finish
+            exec_crowd_secs: 60_000.0, // one crowd-minute: must not finish
         })
         .unwrap();
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(clock.to_wall(20.0));
         cmd.send(WorkerCommand::Recall { task: TaskId(1) }).unwrap();
         // A recalled task must produce no completion.
         assert!(done.recv_timeout(Duration::from_millis(100)).is_err());
@@ -165,7 +166,7 @@ mod tests {
 
     #[test]
     fn double_booked_tasks_queue_fifo() {
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, _clock) = spawn_host(1.0);
         for t in [1u64, 2, 3] {
             cmd.send(WorkerCommand::Assign {
                 task: TaskId(t),
@@ -183,7 +184,7 @@ mod tests {
 
     #[test]
     fn recall_of_queued_task_removes_it() {
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, _clock) = spawn_host(1.0);
         cmd.send(WorkerCommand::Assign {
             task: TaskId(1),
             exec_crowd_secs: 50.0,
@@ -205,7 +206,7 @@ mod tests {
 
     #[test]
     fn stale_recall_is_harmless_and_drop_terminates() {
-        let (cmd, done, handle) = spawn_host(0.0);
+        let (cmd, done, handle, _clock) = spawn_host(0.0);
         cmd.send(WorkerCommand::Recall { task: TaskId(9) }).unwrap();
         cmd.send(WorkerCommand::Assign {
             task: TaskId(3),
@@ -223,13 +224,13 @@ mod tests {
         // Regression: a duplicated Assign left a stale copy of the
         // recalled task in the pending FIFO; the host replayed it and
         // completed a task the scheduler had already rerouted.
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, clock) = spawn_host(1.0);
         cmd.send(WorkerCommand::Assign {
             task: TaskId(1),
             exec_crowd_secs: 60_000.0,
         })
         .unwrap();
-        std::thread::sleep(Duration::from_millis(20));
+        std::thread::sleep(clock.to_wall(20.0));
         // Duplicate delivery of the same assignment…
         cmd.send(WorkerCommand::Assign {
             task: TaskId(1),
@@ -259,13 +260,13 @@ mod tests {
 
     #[test]
     fn duplicate_assign_completes_once() {
-        let (cmd, done, handle) = spawn_host(1.0);
+        let (cmd, done, handle, clock) = spawn_host(1.0);
         cmd.send(WorkerCommand::Assign {
             task: TaskId(3),
             exec_crowd_secs: 40.0,
         })
         .unwrap();
-        std::thread::sleep(Duration::from_millis(10));
+        std::thread::sleep(clock.to_wall(10.0));
         cmd.send(WorkerCommand::Assign {
             task: TaskId(3),
             exec_crowd_secs: 40.0,
