@@ -23,22 +23,25 @@
 //!     CDAS/Karger-style k-fold redundancy (the related-work claim:
 //!     choosing the right worker *before* execution avoids the cost of
 //!     multiple assignments).
+//!
+//! Every ablation is a pure `*_rows` function returning [`KpiRow`]s plus
+//! a thin rendering wrapper; [`SUITE`] lists all eleven so drivers can
+//! iterate them without duplicating titles or CSV names.
 
 // analyze: allow-file(no-wall-clock) — benchmark harness: wall-clock
 // timing IS the measurement here, and react-bench has no react-runtime
 // dependency to borrow a Stopwatch from.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use react_core::{BatchTrigger, LatencyModelKind, MatcherPolicy, WeightFunction};
-use react_crowd::{RunReport, Scenario, ScenarioRunner};
+use react_crowd::{Scenario, ScenarioRunner};
 use react_matching::{
     AuctionMatcher, BipartiteGraph, CostModel, GreedyMatcher, HopcroftKarpMatcher,
     HungarianMatcher, Matcher, MetropolisMatcher, ReactMatcher,
 };
-use react_metrics::table::pct;
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow};
 use std::time::Instant;
 
 /// Shared ablation parameters.
@@ -77,6 +80,92 @@ impl AblationParams {
     }
 }
 
+/// One [`SUITE`] entry: short name, table title, CSV artifact name and
+/// the row-producing function.
+pub type AblationEntry = (
+    &'static str,
+    &'static str,
+    &'static str,
+    fn(&AblationParams) -> Vec<KpiRow>,
+);
+
+/// All eleven ablations in presentation order.
+pub const SUITE: &[AblationEntry] = &[
+    (
+        "conflict_rule",
+        "Ablation 1 — g(x')=0 replacement rule (REACT) vs plain rejection",
+        "ablation1_conflict_rule",
+        conflict_rule_rows,
+    ),
+    (
+        "adaptive_cycles",
+        "Ablation 2 — fixed vs adaptive cycle count",
+        "ablation2_adaptive_cycles",
+        adaptive_cycles_rows,
+    ),
+    (
+        "edge_threshold",
+        "Ablation 3 — Eq. (3) edge-pruning threshold",
+        "ablation3_edge_threshold",
+        edge_threshold_rows,
+    ),
+    (
+        "reassign_threshold",
+        "Ablation 4 — Eq. (2) reassignment threshold",
+        "ablation4_reassign_threshold",
+        reassign_threshold_rows,
+    ),
+    (
+        "weight_function",
+        "Ablation 5 — edge weight function",
+        "ablation5_weight_function",
+        weight_function_rows,
+    ),
+    (
+        "batch_trigger",
+        "Ablation 6 — batch trigger policy",
+        "ablation6_batch_trigger",
+        batch_trigger_rows,
+    ),
+    (
+        "frontier",
+        "Ablation 7 — quality vs time frontier",
+        "ablation7_frontier",
+        frontier_rows,
+    ),
+    (
+        "region_decomposition",
+        "Ablation 8 — region decomposition under one global load",
+        "ablation8_region_decomposition",
+        region_decomposition_rows,
+    ),
+    (
+        "latency_model",
+        "Ablation 9 — latency-model sensitivity (uniform vs power-law crowd)",
+        "ablation9_latency_model",
+        latency_model_rows,
+    ),
+    (
+        "model_kind",
+        "Ablation 10 — Eq. (2)/(3) distribution: parametric vs empirical",
+        "ablation10_model_kind",
+        model_kind_rows,
+    ),
+    (
+        "replication",
+        "Ablation 11 — worker selection (REACT) vs k-fold redundancy",
+        "ablation11_replication",
+        replication_rows,
+    ),
+];
+
+/// Renders one ablation's table and archives its CSV.
+fn emit(title: &str, csv_name: &str, rows: Vec<KpiRow>, sink: &OutputSink) -> String {
+    let report = KpiReport::from_rows(rows);
+    sink.write(csv_name, &report.to_csv_rows(None));
+    report.table(title, None).render()
+}
+
 fn contended_graph(side: usize, seed: u64) -> BipartiteGraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     BipartiteGraph::full(side, side, |_, _| rng.gen::<f64>()).expect("valid weights")
@@ -92,55 +181,48 @@ fn scenario(params: &AblationParams, policy: MatcherPolicy, seed: u64) -> Scenar
 
 /// Ablation 1 — the conflict-resolution rule: REACT vs Metropolis
 /// matching weight at equal cycle budgets.
-pub fn conflict_rule(params: &AblationParams, sink: &OutputSink) -> String {
+pub fn conflict_rule_rows(params: &AblationParams) -> Vec<KpiRow> {
     let graph = contended_graph(params.graph_side, params.seed);
-    let mut table = Table::new(&["cycles", "react weight", "metropolis weight", "advantage"])
-        .with_title("Ablation 1 — g(x')=0 replacement rule (REACT) vs plain rejection");
-    let mut rows = vec![vec![
-        "cycles".to_string(),
-        "react_weight".to_string(),
-        "metropolis_weight".to_string(),
-    ]];
-    for cycles in [250usize, 500, 1000, 2000, 4000] {
-        let react: f64 = (0..5)
-            .map(|i| {
-                ReactMatcher::with_cycles(cycles)
-                    .assign(&graph, &mut SmallRng::seed_from_u64(params.seed + i))
-                    .total_weight
-            })
-            .sum::<f64>()
-            / 5.0;
-        let metro: f64 = (0..5)
-            .map(|i| {
-                MetropolisMatcher::with_cycles(cycles)
-                    .assign(&graph, &mut SmallRng::seed_from_u64(params.seed + 100 + i))
-                    .total_weight
-            })
-            .sum::<f64>()
-            / 5.0;
-        table.add_row(vec![
-            cycles.to_string(),
-            format!("{react:.2}"),
-            format!("{metro:.2}"),
-            format!("{:+.1}%", 100.0 * (react / metro - 1.0)),
-        ]);
-        rows.push(vec![cycles.to_string(), num(react), num(metro)]);
-    }
-    sink.write("ablation1_conflict_rule", &rows);
-    table.render()
+    [250usize, 500, 1000, 2000, 4000]
+        .into_iter()
+        .map(|cycles| {
+            let react: f64 = (0..5)
+                .map(|i| {
+                    ReactMatcher::with_cycles(cycles)
+                        .assign(&graph, &mut SmallRng::seed_from_u64(params.seed + i))
+                        .total_weight
+                })
+                .sum::<f64>()
+                / 5.0;
+            let metro: f64 = (0..5)
+                .map(|i| {
+                    MetropolisMatcher::with_cycles(cycles)
+                        .assign(&graph, &mut SmallRng::seed_from_u64(params.seed + 100 + i))
+                        .total_weight
+                })
+                .sum::<f64>()
+                / 5.0;
+            KpiRow::new()
+                .int("cycles", cycles as i64)
+                .float("react_weight", react)
+                .float("metropolis_weight", metro)
+                .label(
+                    "advantage",
+                    format!("{:+.1}%", 100.0 * (react / metro - 1.0)),
+                )
+        })
+        .collect()
+}
+
+/// See [`conflict_rule_rows`].
+pub fn conflict_rule(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[0].1, SUITE[0].2, conflict_rule_rows(params), sink)
 }
 
 /// Ablation 2 — fixed cycle budgets vs the adaptive `c = κ·|E|` rule.
-pub fn adaptive_cycles(params: &AblationParams, sink: &OutputSink) -> String {
+pub fn adaptive_cycles_rows(params: &AblationParams) -> Vec<KpiRow> {
     let cost_model = CostModel::paper_calibrated();
-    let mut table = Table::new(&["variant", "graph side", "weight", "modeled s"])
-        .with_title("Ablation 2 — fixed vs adaptive cycle count");
-    let mut rows = vec![vec![
-        "variant".to_string(),
-        "side".to_string(),
-        "weight".to_string(),
-        "modeled_s".to_string(),
-    ]];
+    let mut rows = Vec::new();
     for side in [params.graph_side / 2, params.graph_side] {
         let graph = contended_graph(side, params.seed ^ side as u64);
         let mut variants: Vec<(String, ReactMatcher)> = vec![
@@ -155,93 +237,74 @@ pub fn adaptive_cycles(params: &AblationParams, sink: &OutputSink) -> String {
         }
         for (label, matcher) in variants {
             let m = matcher.assign(&graph, &mut SmallRng::seed_from_u64(params.seed));
-            let secs = cost_model.seconds_for("react", m.cost_units);
-            table.add_row(vec![
-                label.clone(),
-                side.to_string(),
-                format!("{:.2}", m.total_weight),
-                format!("{secs:.2}"),
-            ]);
-            rows.push(vec![
-                label,
-                side.to_string(),
-                num(m.total_weight),
-                num(secs),
-            ]);
+            rows.push(
+                KpiRow::new()
+                    .label("variant", &label)
+                    .int("side", side as i64)
+                    .float("weight", m.total_weight)
+                    .float("modeled_s", cost_model.seconds_for("react", m.cost_units)),
+            );
         }
     }
-    sink.write("ablation2_adaptive_cycles", &rows);
-    table.render()
+    rows
+}
+
+/// See [`adaptive_cycles_rows`].
+pub fn adaptive_cycles(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[1].1, SUITE[1].2, adaptive_cycles_rows(params), sink)
 }
 
 /// Ablation 3 — the Eq. (3) edge-instantiation threshold.
+pub fn edge_threshold_rows(params: &AblationParams) -> Vec<KpiRow> {
+    [0.0, 0.1, 0.3, 0.5, 0.8]
+        .into_iter()
+        .map(|threshold| {
+            let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            sc.config.deadline.edge_probability_threshold = threshold;
+            let r = ScenarioRunner::new(sc).run();
+            KpiRow::new()
+                .float("threshold", threshold)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .pct("kpi.positive_rate", r.positive_ratio())
+                .int("tasks.reassigned", r.reassignments as i64)
+        })
+        .collect()
+}
+
+/// See [`edge_threshold_rows`].
 pub fn edge_threshold(params: &AblationParams, sink: &OutputSink) -> String {
-    let mut table = Table::new(&["threshold", "met %", "positive %", "reassigned"])
-        .with_title("Ablation 3 — Eq. (3) edge-pruning threshold");
-    let mut rows = vec![vec![
-        "threshold".to_string(),
-        "met_ratio".to_string(),
-        "positive_ratio".to_string(),
-        "reassignments".to_string(),
-    ]];
-    for threshold in [0.0, 0.1, 0.3, 0.5, 0.8] {
-        let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        sc.config.deadline.edge_probability_threshold = threshold;
-        let r = ScenarioRunner::new(sc).run();
-        table.add_row(vec![
-            format!("{threshold}"),
-            pct(r.deadline_ratio()),
-            pct(r.positive_ratio()),
-            r.reassignments.to_string(),
-        ]);
-        rows.push(vec![
-            num(threshold),
-            num(r.deadline_ratio()),
-            num(r.positive_ratio()),
-            r.reassignments.to_string(),
-        ]);
-    }
-    sink.write("ablation3_edge_threshold", &rows);
-    table.render()
+    emit(SUITE[2].1, SUITE[2].2, edge_threshold_rows(params), sink)
 }
 
 /// Ablation 4 — the Eq. (2) reassignment threshold (0 = never recall).
-pub fn reassign_threshold(params: &AblationParams, sink: &OutputSink) -> Vec<(f64, RunReport)> {
-    let mut out = Vec::new();
-    for threshold in [0.0, 0.05, 0.1, 0.25, 0.5] {
-        let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        sc.config.deadline.reassign_threshold = threshold;
-        out.push((threshold, ScenarioRunner::new(sc).run()));
-    }
-    let mut table = Table::new(&["threshold", "met %", "reassigned", "avg exec s"])
-        .with_title("Ablation 4 — Eq. (2) reassignment threshold");
-    let mut rows = vec![vec![
-        "threshold".to_string(),
-        "met_ratio".to_string(),
-        "reassignments".to_string(),
-        "avg_exec_s".to_string(),
-    ]];
-    for (threshold, r) in &out {
-        table.add_row(vec![
-            format!("{threshold}"),
-            pct(r.deadline_ratio()),
-            r.reassignments.to_string(),
-            format!("{:.1}", r.avg_exec_time()),
-        ]);
-        rows.push(vec![
-            num(*threshold),
-            num(r.deadline_ratio()),
-            r.reassignments.to_string(),
-            num(r.avg_exec_time()),
-        ]);
-    }
-    sink.write("ablation4_reassign_threshold", &rows);
-    println!("{}", table.render());
-    out
+pub fn reassign_threshold_rows(params: &AblationParams) -> Vec<KpiRow> {
+    [0.0, 0.05, 0.1, 0.25, 0.5]
+        .into_iter()
+        .map(|threshold| {
+            let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            sc.config.deadline.reassign_threshold = threshold;
+            let r = ScenarioRunner::new(sc).run();
+            KpiRow::new()
+                .float("threshold", threshold)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .int("tasks.reassigned", r.reassignments as i64)
+                .float("kpi.avg_exec_s", r.avg_exec_time())
+        })
+        .collect()
+}
+
+/// See [`reassign_threshold_rows`].
+pub fn reassign_threshold(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(
+        SUITE[3].1,
+        SUITE[3].2,
+        reassign_threshold_rows(params),
+        sink,
+    )
 }
 
 /// Ablation 5 — the weight function: accuracy vs distance vs blend.
-pub fn weight_function(params: &AblationParams, sink: &OutputSink) -> String {
+pub fn weight_function_rows(params: &AblationParams) -> Vec<KpiRow> {
     let variants = [
         ("accuracy", WeightFunction::Accuracy),
         ("distance", WeightFunction::Distance { scale_km: 5.0 }),
@@ -253,34 +316,27 @@ pub fn weight_function(params: &AblationParams, sink: &OutputSink) -> String {
             },
         ),
     ];
-    let mut table = Table::new(&["weight fn", "met %", "positive %"])
-        .with_title("Ablation 5 — edge weight function");
-    let mut rows = vec![vec![
-        "weight_fn".to_string(),
-        "met_ratio".to_string(),
-        "positive_ratio".to_string(),
-    ]];
-    for (label, wf) in variants {
-        let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        sc.config.weight = wf;
-        let r = ScenarioRunner::new(sc).run();
-        table.add_row(vec![
-            label.to_string(),
-            pct(r.deadline_ratio()),
-            pct(r.positive_ratio()),
-        ]);
-        rows.push(vec![
-            label.to_string(),
-            num(r.deadline_ratio()),
-            num(r.positive_ratio()),
-        ]);
-    }
-    sink.write("ablation5_weight_function", &rows);
-    table.render()
+    variants
+        .into_iter()
+        .map(|(label, wf)| {
+            let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            sc.config.weight = wf;
+            let r = ScenarioRunner::new(sc).run();
+            KpiRow::new()
+                .label("weight_fn", label)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .pct("kpi.positive_rate", r.positive_ratio())
+        })
+        .collect()
+}
+
+/// See [`weight_function_rows`].
+pub fn weight_function(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[4].1, SUITE[4].2, weight_function_rows(params), sink)
 }
 
 /// Ablation 6 — batch trigger policy: queue threshold vs period.
-pub fn batch_trigger(params: &AblationParams, sink: &OutputSink) -> String {
+pub fn batch_trigger_rows(params: &AblationParams) -> Vec<KpiRow> {
     let variants: [(&str, BatchTrigger); 4] = [
         (
             "threshold-1",
@@ -311,128 +367,98 @@ pub fn batch_trigger(params: &AblationParams, sink: &OutputSink) -> String {
             },
         ),
     ];
-    let mut table = Table::new(&["trigger", "met %", "batches", "match s"])
-        .with_title("Ablation 6 — batch trigger policy");
-    let mut rows = vec![vec![
-        "trigger".to_string(),
-        "met_ratio".to_string(),
-        "batches".to_string(),
-        "matching_s".to_string(),
-    ]];
-    for (label, trigger) in variants {
-        let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        sc.config.batch = trigger;
-        let r = ScenarioRunner::new(sc).run();
-        table.add_row(vec![
-            label.to_string(),
-            pct(r.deadline_ratio()),
-            r.batches.to_string(),
-            format!("{:.0}", r.total_matching_seconds),
-        ]);
-        rows.push(vec![
-            label.to_string(),
-            num(r.deadline_ratio()),
-            r.batches.to_string(),
-            num(r.total_matching_seconds),
-        ]);
-    }
-    sink.write("ablation6_batch_trigger", &rows);
-    table.render()
+    variants
+        .into_iter()
+        .map(|(label, trigger)| {
+            let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            sc.config.batch = trigger;
+            let r = ScenarioRunner::new(sc).run();
+            KpiRow::new()
+                .label("trigger", label)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .int("batches.run", r.batches as i64)
+                .float("matching.seconds", r.total_matching_seconds)
+        })
+        .collect()
 }
 
-/// Ablation 11 — selection vs redundancy. The paper's related-work
-/// section argues REACT *"manages to define the most suitable workers
-/// before the execution of the tasks and thus to reduce the cost of the
-/// multiple assignments"*. This experiment quantifies it: Traditional
-/// with k=1/k=3 replicas vs REACT with k=1, comparing per-logical-task
-/// success (any replica positive) against payments made.
-pub fn replication(params: &AblationParams, sink: &OutputSink) -> String {
-    let variants: [(&str, MatcherPolicy, usize); 4] = [
-        ("traditional k=1", MatcherPolicy::Traditional, 1),
-        ("traditional k=3", MatcherPolicy::Traditional, 3),
-        ("react k=1", MatcherPolicy::React { cycles: 1000 }, 1),
-        ("react k=3", MatcherPolicy::React { cycles: 1000 }, 3),
-    ];
-    let mut table = Table::new(&[
-        "scheme",
-        "group success %",
-        "majority %",
-        "payments",
-        "payments/group",
-    ])
-    .with_title("Ablation 11 — worker selection (REACT) vs k-fold redundancy");
-    let mut rows = vec![vec![
-        "scheme".to_string(),
-        "any_positive_ratio".to_string(),
-        "majority_ratio".to_string(),
-        "payments".to_string(),
-    ]];
-    for (label, policy, k) in variants {
-        let mut sc = scenario(params, policy, params.seed);
-        // Keep the *logical* workload constant; replicas multiply load,
-        // so give the crowd headroom for a fair accuracy comparison.
-        sc.total_tasks = params.total_tasks / 3;
-        sc.arrival_rate /= 3.0;
-        sc.replication = k;
-        let r = ScenarioRunner::new(sc).run();
-        let any = r.groups_any_positive as f64 / r.groups.max(1) as f64;
-        let maj = r.groups_majority_positive as f64 / r.groups.max(1) as f64;
-        table.add_row(vec![
-            label.to_string(),
-            pct(any),
-            pct(maj),
-            r.payments().to_string(),
-            format!("{:.2}", r.payments() as f64 / r.groups.max(1) as f64),
-        ]);
-        rows.push(vec![
-            label.to_string(),
-            num(any),
-            num(maj),
-            r.payments().to_string(),
-        ]);
-    }
-    sink.write("ablation11_replication", &rows);
-    table.render()
+/// See [`batch_trigger_rows`].
+pub fn batch_trigger(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[5].1, SUITE[5].2, batch_trigger_rows(params), sink)
 }
 
-/// Ablation 10 — which latency distribution Eq. (2)/(3) evaluates: the
-/// paper's power-law fit, the empirical CCDF, or KS-gated auto
-/// selection. The paper's own synthetic crowd is *bimodal* (uniform
-/// service + delay spike), i.e. mis-specified for a power law — the
-/// empirical model is the robustness check.
-pub fn model_kind(params: &AblationParams, sink: &OutputSink) -> String {
-    let kinds = [
-        ("power-law", LatencyModelKind::PowerLaw),
-        ("empirical", LatencyModelKind::Empirical),
-        ("auto-ks0.1", LatencyModelKind::Auto { ks_threshold: 0.1 }),
+/// Ablation 7 — the quality-vs-time frontier across all matchers.
+pub fn frontier_rows(params: &AblationParams) -> Vec<KpiRow> {
+    let graph = contended_graph(params.graph_side, params.seed ^ 0xf00d);
+    let cost_model = CostModel::paper_calibrated();
+    let matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(HungarianMatcher),
+        Box::new(AuctionMatcher::default()),
+        Box::new(GreedyMatcher),
+        Box::new(HopcroftKarpMatcher),
+        Box::new(ReactMatcher::with_cycles(1000)),
+        Box::new(MetropolisMatcher::with_cycles(1000)),
     ];
-    let mut table = Table::new(&["model", "met %", "positive %", "reassigned"])
-        .with_title("Ablation 10 — Eq. (2)/(3) distribution: parametric vs empirical");
-    let mut rows = vec![vec![
-        "model".to_string(),
-        "met_ratio".to_string(),
-        "positive_ratio".to_string(),
-        "reassignments".to_string(),
-    ]];
-    for (label, kind) in kinds {
-        let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        sc.config.latency_model = kind;
-        let r = ScenarioRunner::new(sc).run();
-        table.add_row(vec![
-            label.to_string(),
-            pct(r.deadline_ratio()),
-            pct(r.positive_ratio()),
-            r.reassignments.to_string(),
-        ]);
-        rows.push(vec![
-            label.to_string(),
-            num(r.deadline_ratio()),
-            num(r.positive_ratio()),
-            r.reassignments.to_string(),
-        ]);
-    }
-    sink.write("ablation10_model_kind", &rows);
-    table.render()
+    let mut optimal = None;
+    matchers
+        .iter()
+        .map(|matcher| {
+            let t0 = Instant::now();
+            let m = matcher.assign(&graph, &mut SmallRng::seed_from_u64(params.seed));
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if matcher.name() == "hungarian" {
+                optimal = Some(m.total_weight);
+            }
+            let opt_ratio = optimal.map_or(1.0, |o| m.total_weight / o);
+            KpiRow::new()
+                .label("matcher", matcher.name())
+                .float("weight", m.total_weight)
+                .pct("optimality", opt_ratio)
+                .float("wall_ms", wall_ms)
+                .float(
+                    "modeled_s",
+                    cost_model.seconds_for(matcher.name(), m.cost_units),
+                )
+        })
+        .collect()
+}
+
+/// See [`frontier_rows`].
+pub fn frontier(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[6].1, SUITE[6].2, frontier_rows(params), sink)
+}
+
+/// Ablation 8 — region decomposition under load (the paper's proposed
+/// overload fix): the same global workload over 1×1, 2×2 and 3×3 grids.
+pub fn region_decomposition_rows(params: &AblationParams) -> Vec<KpiRow> {
+    use react_crowd::{MultiRegionRunner, MultiRegionScenario};
+    [(1u32, 1u32), (2, 2), (3, 3)]
+        .into_iter()
+        .map(|(r, c)| {
+            let global = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            let report = MultiRegionRunner::new(MultiRegionScenario {
+                global,
+                rows: r,
+                cols: c,
+            })
+            .run();
+            KpiRow::new()
+                .label("grid", format!("{r}x{c}"))
+                .int("servers", (r * c) as i64)
+                .pct("kpi.deadline_hit_rate", report.deadline_ratio())
+                .float("kpi.max_matching_s", report.max_matching_seconds())
+        })
+        .collect()
+}
+
+/// See [`region_decomposition_rows`].
+pub fn region_decomposition(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(
+        SUITE[7].1,
+        SUITE[7].2,
+        region_decomposition_rows(params),
+        sink,
+    )
 }
 
 /// Ablation 9 — latency-model sensitivity. The paper's Eq. (2)/(3)
@@ -441,23 +467,9 @@ pub fn model_kind(params: &AblationParams, sink: &OutputSink) -> String {
 /// runs the same scenario under both crowds: when the crowd really is
 /// power-law the estimator is well-specified and REACT's advantage over
 /// the no-reassignment baseline should persist or grow.
-pub fn latency_model(params: &AblationParams, sink: &OutputSink) -> String {
+pub fn latency_model_rows(params: &AblationParams) -> Vec<KpiRow> {
     use react_crowd::BehaviorParams;
-    let mut table = Table::new(&[
-        "crowd latency",
-        "policy",
-        "met %",
-        "reassigned",
-        "avg exec s",
-    ])
-    .with_title("Ablation 9 — latency-model sensitivity (uniform vs power-law crowd)");
-    let mut rows = vec![vec![
-        "latency".to_string(),
-        "policy".to_string(),
-        "met_ratio".to_string(),
-        "reassignments".to_string(),
-        "avg_exec_s".to_string(),
-    ]];
+    let mut rows = Vec::new();
     for (label, behavior) in [
         ("paper-uniform", BehaviorParams::default()),
         ("power-law", BehaviorParams::power_law_defaults()),
@@ -469,111 +481,98 @@ pub fn latency_model(params: &AblationParams, sink: &OutputSink) -> String {
             let mut sc = scenario(params, policy, params.seed);
             sc.behavior = behavior;
             let r = ScenarioRunner::new(sc).run();
-            table.add_row(vec![
-                label.to_string(),
-                r.matcher_name.to_string(),
-                pct(r.deadline_ratio()),
-                r.reassignments.to_string(),
-                format!("{:.1}", r.avg_exec_time()),
-            ]);
-            rows.push(vec![
-                label.to_string(),
-                r.matcher_name.to_string(),
-                num(r.deadline_ratio()),
-                r.reassignments.to_string(),
-                num(r.avg_exec_time()),
-            ]);
+            rows.push(
+                KpiRow::new()
+                    .label("latency", label)
+                    .label("policy", r.matcher_name)
+                    .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                    .int("tasks.reassigned", r.reassignments as i64)
+                    .float("kpi.avg_exec_s", r.avg_exec_time()),
+            );
         }
     }
-    sink.write("ablation9_latency_model", &rows);
-    table.render()
+    rows
 }
 
-/// Ablation 8 — region decomposition under load (the paper's proposed
-/// overload fix): the same global workload over 1×1, 2×2 and 3×3 grids.
-pub fn region_decomposition(params: &AblationParams, sink: &OutputSink) -> String {
-    use react_crowd::{MultiRegionRunner, MultiRegionScenario};
-    let mut table = Table::new(&["grid", "servers", "met %", "max server match s"])
-        .with_title("Ablation 8 — region decomposition under one global load");
-    let mut rows = vec![vec![
-        "grid".to_string(),
-        "servers".to_string(),
-        "met_ratio".to_string(),
-        "max_matching_s".to_string(),
-    ]];
-    for (r, c) in [(1u32, 1u32), (2, 2), (3, 3)] {
-        let global = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
-        let report = MultiRegionRunner::new(MultiRegionScenario {
-            global,
-            rows: r,
-            cols: c,
-        })
-        .run();
-        table.add_row(vec![
-            format!("{r}x{c}"),
-            (r * c).to_string(),
-            pct(report.deadline_ratio()),
-            format!("{:.1}", report.max_matching_seconds()),
-        ]);
-        rows.push(vec![
-            format!("{r}x{c}"),
-            (r * c).to_string(),
-            num(report.deadline_ratio()),
-            num(report.max_matching_seconds()),
-        ]);
-    }
-    sink.write("ablation8_region_decomposition", &rows);
-    table.render()
+/// See [`latency_model_rows`].
+pub fn latency_model(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[8].1, SUITE[8].2, latency_model_rows(params), sink)
 }
 
-/// Ablation 7 — the quality-vs-time frontier across all matchers.
-pub fn frontier(params: &AblationParams, sink: &OutputSink) -> String {
-    let graph = contended_graph(params.graph_side, params.seed ^ 0xf00d);
-    let cost_model = CostModel::paper_calibrated();
-    let matchers: Vec<Box<dyn Matcher>> = vec![
-        Box::new(HungarianMatcher),
-        Box::new(AuctionMatcher::default()),
-        Box::new(GreedyMatcher),
-        Box::new(HopcroftKarpMatcher),
-        Box::new(ReactMatcher::with_cycles(1000)),
-        Box::new(MetropolisMatcher::with_cycles(1000)),
+/// Ablation 10 — which latency distribution Eq. (2)/(3) evaluates: the
+/// paper's power-law fit, the empirical CCDF, or KS-gated auto
+/// selection. The paper's own synthetic crowd is *bimodal* (uniform
+/// service + delay spike), i.e. mis-specified for a power law — the
+/// empirical model is the robustness check.
+pub fn model_kind_rows(params: &AblationParams) -> Vec<KpiRow> {
+    let kinds = [
+        ("power-law", LatencyModelKind::PowerLaw),
+        ("empirical", LatencyModelKind::Empirical),
+        ("auto-ks0.1", LatencyModelKind::Auto { ks_threshold: 0.1 }),
     ];
-    let mut table = Table::new(&["matcher", "weight", "optimality", "wall ms", "modeled s"])
-        .with_title("Ablation 7 — quality vs time frontier");
-    let mut rows = vec![vec![
-        "matcher".to_string(),
-        "weight".to_string(),
-        "wall_ms".to_string(),
-        "modeled_s".to_string(),
-    ]];
-    let mut optimal = None;
-    for matcher in &matchers {
-        let t0 = Instant::now();
-        let m = matcher.assign(&graph, &mut SmallRng::seed_from_u64(params.seed));
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        if matcher.name() == "hungarian" {
-            optimal = Some(m.total_weight);
-        }
-        let opt_ratio = optimal.map_or(1.0, |o| m.total_weight / o);
-        table.add_row(vec![
-            matcher.name().to_string(),
-            format!("{:.2}", m.total_weight),
-            pct(opt_ratio),
-            format!("{wall_ms:.2}"),
-            format!(
-                "{:.2}",
-                cost_model.seconds_for(matcher.name(), m.cost_units)
-            ),
-        ]);
-        rows.push(vec![
-            matcher.name().to_string(),
-            num(m.total_weight),
-            num(wall_ms),
-            num(cost_model.seconds_for(matcher.name(), m.cost_units)),
-        ]);
-    }
-    sink.write("ablation7_frontier", &rows);
-    table.render()
+    kinds
+        .into_iter()
+        .map(|(label, kind)| {
+            let mut sc = scenario(params, MatcherPolicy::React { cycles: 1000 }, params.seed);
+            sc.config.latency_model = kind;
+            let r = ScenarioRunner::new(sc).run();
+            KpiRow::new()
+                .label("model", label)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .pct("kpi.positive_rate", r.positive_ratio())
+                .int("tasks.reassigned", r.reassignments as i64)
+        })
+        .collect()
+}
+
+/// See [`model_kind_rows`].
+pub fn model_kind(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[9].1, SUITE[9].2, model_kind_rows(params), sink)
+}
+
+/// Ablation 11 — selection vs redundancy. The paper's related-work
+/// section argues REACT *"manages to define the most suitable workers
+/// before the execution of the tasks and thus to reduce the cost of the
+/// multiple assignments"*. This experiment quantifies it: Traditional
+/// with k=1/k=3 replicas vs REACT with k=1, comparing per-logical-task
+/// success (any replica positive) against payments made.
+pub fn replication_rows(params: &AblationParams) -> Vec<KpiRow> {
+    let variants: [(&str, MatcherPolicy, usize); 4] = [
+        ("traditional k=1", MatcherPolicy::Traditional, 1),
+        ("traditional k=3", MatcherPolicy::Traditional, 3),
+        ("react k=1", MatcherPolicy::React { cycles: 1000 }, 1),
+        ("react k=3", MatcherPolicy::React { cycles: 1000 }, 3),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, policy, k)| {
+            let mut sc = scenario(params, policy, params.seed);
+            // Keep the *logical* workload constant; replicas multiply load,
+            // so give the crowd headroom for a fair accuracy comparison.
+            sc.total_tasks = params.total_tasks / 3;
+            sc.arrival_rate /= 3.0;
+            sc.replication = k;
+            let r = ScenarioRunner::new(sc).run();
+            let groups = r.groups.max(1) as f64;
+            KpiRow::new()
+                .label("scheme", label)
+                .pct(
+                    "kpi.any_positive_rate",
+                    r.groups_any_positive as f64 / groups,
+                )
+                .pct(
+                    "kpi.majority_positive_rate",
+                    r.groups_majority_positive as f64 / groups,
+                )
+                .int("payments", r.payments() as i64)
+                .float("kpi.payments_per_group", r.payments() as f64 / groups)
+        })
+        .collect()
+}
+
+/// See [`replication_rows`].
+pub fn replication(params: &AblationParams, sink: &OutputSink) -> String {
+    emit(SUITE[10].1, SUITE[10].2, replication_rows(params), sink)
 }
 
 #[cfg(test)]
@@ -585,9 +584,22 @@ mod tests {
     }
 
     #[test]
+    fn suite_lists_all_eleven_uniquely() {
+        assert_eq!(SUITE.len(), 11);
+        let mut names: Vec<&str> = SUITE.iter().map(|e| e.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "ablation names must be unique");
+        for (_, title, csv, _) in SUITE {
+            assert!(title.starts_with("Ablation "), "bad title {title}");
+            assert!(csv.starts_with("ablation"), "bad csv name {csv}");
+        }
+    }
+
+    #[test]
     fn conflict_rule_shows_react_advantage() {
         let text = conflict_rule(&AblationParams::quick(), &sink());
-        assert!(text.contains("react weight"));
+        assert!(text.contains("react_weight"));
         // Every advantage cell should be positive (REACT ≥ Metropolis).
         let plus = text.matches('+').count();
         assert!(plus >= 4, "expected mostly positive advantages:\n{text}");
@@ -608,14 +620,17 @@ mod tests {
 
     #[test]
     fn reassign_threshold_zero_means_no_recalls() {
-        let out = reassign_threshold(&AblationParams::quick(), &sink());
-        let (t0, r0) = &out[0];
-        assert_eq!(*t0, 0.0);
-        assert_eq!(r0.reassignments, 0, "threshold 0 disables Eq. (2) recalls");
+        let rows = reassign_threshold_rows(&AblationParams::quick());
+        let reassigned = |i: usize| {
+            rows[i]
+                .get("tasks.reassigned")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+        };
+        assert_eq!(rows[0].get("threshold").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(reassigned(0), 0.0, "threshold 0 disables Eq. (2) recalls");
         // Higher thresholds recall at least as often.
-        let (_, r_mid) = &out[2];
-        let (_, r_hi) = &out[4];
-        assert!(r_hi.reassignments >= r_mid.reassignments);
+        assert!(reassigned(4) >= reassigned(2));
     }
 
     #[test]

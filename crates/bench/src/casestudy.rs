@@ -1,17 +1,27 @@
 //! The Sec. V-C CrowdFlower case study, regenerated from the synthetic
 //! trace.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_crowd::{CaseStudySummary, CaseStudyTrace};
 use react_metrics::table::pct;
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow, Table};
 
 /// Synthesizes a trace of `n` responses and summarizes it.
 pub fn run(n: usize, seed: u64) -> CaseStudySummary {
     let mut rng = SmallRng::seed_from_u64(seed);
     CaseStudyTrace::synthesize(n, &mut rng).summarize()
+}
+
+/// The case-study summary as a single shared KPI row.
+pub fn kpi_rows(summary: &CaseStudySummary) -> Vec<KpiRow> {
+    vec![KpiRow::new()
+        .int("n_responses", summary.n_responses as i64)
+        .pct("kpi.within_20s", summary.fraction_within_20s)
+        .pct("kpi.trust_above_half", summary.fraction_trust_above_half)
+        .float("kpi.median_response_s", summary.median_response)
+        .float("kpi.max_response_s", summary.max_response)]
 }
 
 /// Prints the case-study table and archives the CSV.
@@ -38,23 +48,8 @@ pub fn report(summary: &CaseStudySummary, sink: &OutputSink) -> String {
         "up to 6 h".to_string(),
         format!("{:.2} h", summary.max_response / 3600.0),
     ]);
-    let rows = vec![
-        vec![
-            "n_responses".to_string(),
-            "fraction_within_20s".to_string(),
-            "fraction_trust_above_half".to_string(),
-            "median_response_s".to_string(),
-            "max_response_s".to_string(),
-        ],
-        vec![
-            summary.n_responses.to_string(),
-            num(summary.fraction_within_20s),
-            num(summary.fraction_trust_above_half),
-            num(summary.median_response),
-            num(summary.max_response),
-        ],
-    ];
-    sink.write("case_study", &rows);
+    let kpi = KpiReport::from_rows(kpi_rows(summary));
+    sink.write("case_study", &kpi.to_csv_rows(None));
     t.render()
 }
 

@@ -15,12 +15,11 @@
 //! dropping out.
 
 use crate::endtoend::paper_policies;
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use react_core::{AuditLog, MatcherPolicy, RecoveryConfig, TaskEventKind, TaskId};
 use react_crowd::{RunReport, Scenario, ScenarioRunner};
 use react_faults::FaultPlan;
-use react_metrics::table::pct;
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow};
 use std::collections::HashMap;
 
 /// Parameters of the chaos sweep.
@@ -148,74 +147,44 @@ pub fn run(params: &ChaosParams) -> Vec<ChaosPoint> {
         .collect()
 }
 
+/// The chaos cells as shared KPI rows. Counter-backed columns use the
+/// obs-catalog names; derived columns use the `kpi.` prefix.
+pub fn kpi_rows(points: &[ChaosPoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            let r = &p.report;
+            let f = &r.faults;
+            KpiRow::new()
+                .label("policy", r.matcher_name)
+                .float("intensity", p.intensity)
+                .int("kpi.received", r.received as i64)
+                .int("deadlines.met", r.met_deadline as i64)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .int("kpi.missed", p.missed() as i64)
+                .int("tasks.reassigned", r.reassignments as i64)
+                .int("recovery.timeout_recalls", f.timeout_recalls as i64)
+                .int("fault.abandons", f.abandons as i64)
+                .int("fault.completions_lost", f.completions_lost as i64)
+                .int(
+                    "fault.completions_duplicated",
+                    f.completions_duplicated as i64,
+                )
+                .int("fault.burst_tasks", f.burst_tasks as i64)
+                .int("kpi.stranded", f.stranded as i64)
+                .float("kpi.recovery_latency_s", p.recovery_latency)
+        })
+        .collect()
+}
+
 /// Prints the chaos table and archives the `chaos_sweep` CSV.
 pub fn report(points: &[ChaosPoint], sink: &OutputSink) -> String {
-    let mut table = Table::new(&[
-        "policy",
-        "intensity",
-        "received",
-        "met %",
-        "missed",
-        "recalls",
-        "ladder recalls",
-        "abandons",
-        "lost",
-        "dup",
-        "bursts",
-        "stranded",
-        "recov lat s",
-    ])
-    .with_title("Chaos sweep — deadline misses and recovery under injected faults");
-    let mut rows = vec![vec![
-        "policy".to_string(),
-        "intensity".to_string(),
-        "received".to_string(),
-        "met_deadline".to_string(),
-        "missed".to_string(),
-        "reassignments".to_string(),
-        "timeout_recalls".to_string(),
-        "abandons".to_string(),
-        "completions_lost".to_string(),
-        "completions_duplicated".to_string(),
-        "burst_tasks".to_string(),
-        "stranded".to_string(),
-        "recovery_latency_s".to_string(),
-    ]];
-    for p in points {
-        let r = &p.report;
-        let f = &r.faults;
-        table.add_row(vec![
-            r.matcher_name.to_string(),
-            format!("{:.2}", p.intensity),
-            r.received.to_string(),
-            pct(r.deadline_ratio()),
-            p.missed().to_string(),
-            r.reassignments.to_string(),
-            f.timeout_recalls.to_string(),
-            f.abandons.to_string(),
-            f.completions_lost.to_string(),
-            f.completions_duplicated.to_string(),
-            f.burst_tasks.to_string(),
-            f.stranded.to_string(),
-            format!("{:.1}", p.recovery_latency),
-        ]);
-        rows.push(vec![
-            r.matcher_name.to_string(),
-            num(p.intensity),
-            r.received.to_string(),
-            r.met_deadline.to_string(),
-            p.missed().to_string(),
-            r.reassignments.to_string(),
-            f.timeout_recalls.to_string(),
-            f.abandons.to_string(),
-            f.completions_lost.to_string(),
-            f.completions_duplicated.to_string(),
-            f.burst_tasks.to_string(),
-            f.stranded.to_string(),
-            num(p.recovery_latency),
-        ]);
-    }
-    sink.write("chaos_sweep", &rows);
+    let kpi = KpiReport::from_rows(kpi_rows(points));
+    sink.write("chaos_sweep", &kpi.to_csv_rows(None));
+    let table = kpi.table(
+        "Chaos sweep — deadline misses and recovery under injected faults",
+        None,
+    );
 
     let mut out = table.render();
     // Headline: REACT vs Traditional at the heaviest intensity.

@@ -22,7 +22,7 @@
 // timing IS the measurement here, and react-bench has no react-runtime
 // dependency to borrow a Stopwatch from.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_cluster::{
@@ -32,7 +32,7 @@ use react_cluster::{
 use react_core::{BatchTrigger, Config, MatcherPolicy, Task, TaskCategory, TaskId};
 use react_crowd::{MultiRegionRunner, MultiRegionScenario, Scenario};
 use react_geo::BoundingBox;
-use react_metrics::Table;
+use react_metrics::{write_stamped, ArtifactOutcome, KpiReport, KpiRow, Provenance};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -338,6 +338,11 @@ pub fn default_json_path() -> PathBuf {
 /// Serializes the report as the `BENCH_cluster.json` document
 /// (hand-rolled JSON; the workspace carries no serializer dependency).
 pub fn to_json(report: &ClusterBenchReport) -> String {
+    to_json_with(report, None)
+}
+
+/// [`to_json`] with an optional embedded provenance stamp.
+pub fn to_json_with(report: &ClusterBenchReport, provenance: Option<&Provenance>) -> String {
     let scaling: Vec<String> = report
         .scaling
         .iter()
@@ -361,12 +366,16 @@ pub fn to_json(report: &ClusterBenchReport) -> String {
             )
         })
         .collect();
+    let stamp = provenance.map_or(String::new(), |p| {
+        format!("  \"provenance\": {},\n", p.to_json())
+    });
     format!(
-        "{{\n  \"schema\": \"react-cluster-v1\",\n  \"quick\": {},\n  \
+        "{{\n  \"schema\": \"react-cluster-v1\",\n{}  \"quick\": {},\n  \
          \"threads\": {},\n  \"scaling\": [\n{}\n  ],\n  \
          \"fallback\": {{\"single_tier_identical\": {}, \
          \"coupled_conserved\": {}, \"serial_parallel_identical\": {}, \
          \"speedup_8_over_1\": {:.3}}}\n}}\n",
+        stamp,
         report.quick,
         react_core::par::parallelism(),
         scaling.join(",\n"),
@@ -385,81 +394,65 @@ pub fn write_json(report: &ClusterBenchReport, path: &Path) -> std::io::Result<(
     std::fs::write(path, to_json(report))
 }
 
-/// Renders the tables and archives the CSVs.
-pub fn render(report: &ClusterBenchReport, sink: &OutputSink) -> String {
-    let mut scaling_table = Table::new(&[
-        "workers",
-        "shards",
-        "grid",
-        "tasks/tick",
-        "ticks/s",
-        "completed",
-        "handoffs",
-        "rebalanced",
-        "shed",
-        "conserved",
-    ])
-    .with_title("Cluster — ticks/sec by shard count (serial shard execution)".to_string());
-    let mut rows = vec![vec![
-        "workers".to_string(),
-        "shards".to_string(),
-        "grid".to_string(),
-        "tasks_per_tick".to_string(),
-        "ticks_per_sec".to_string(),
-        "completed".to_string(),
-        "handoffs".to_string(),
-        "rebalanced".to_string(),
-        "admission_shed".to_string(),
-        "conserved".to_string(),
-    ]];
-    for p in &report.scaling {
-        let grid = format!("{}x{}", p.rows, p.cols);
-        scaling_table.add_row(vec![
-            p.workers.to_string(),
-            p.shards.to_string(),
-            grid.clone(),
-            p.tasks_per_tick.to_string(),
-            format!("{:.1}", p.ticks_per_sec),
-            p.completed.to_string(),
-            p.handoffs.to_string(),
-            p.rebalanced.to_string(),
-            p.admission_shed.to_string(),
-            p.conserved.to_string(),
-        ]);
-        rows.push(vec![
-            p.workers.to_string(),
-            p.shards.to_string(),
-            grid,
-            p.tasks_per_tick.to_string(),
-            num(p.ticks_per_sec),
-            p.completed.to_string(),
-            p.handoffs.to_string(),
-            p.rebalanced.to_string(),
-            p.admission_shed.to_string(),
-            p.conserved.to_string(),
-        ]);
-    }
-    sink.write("cluster_scaling", &rows);
+/// Writes the JSON artifact with an embedded provenance stamp, backing
+/// up a differing prior artifact as `<stem>.prev.json` instead of
+/// silently overwriting it.
+pub fn write_json_stamped(
+    report: &ClusterBenchReport,
+    path: &Path,
+    provenance: &Provenance,
+) -> std::io::Result<ArtifactOutcome> {
+    write_stamped(path, &to_json_with(report, Some(provenance)))
+}
 
-    let mut fallback_table = Table::new(&["check", "holds"])
-        .with_title("Cluster — fallback and determinism identities".to_string());
-    let checks = [
-        (
-            "single_tier_identical",
-            report.fallback.single_tier_identical,
-        ),
-        ("coupled_conserved", report.fallback.coupled_conserved),
+/// The shard-scaling points as shared KPI rows. Counter-backed columns
+/// use the obs-catalog names.
+pub fn kpi_rows(points: &[ScalingPoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            KpiRow::new()
+                .int("workers", p.workers as i64)
+                .int("shards", p.shards as i64)
+                .label("grid", format!("{}x{}", p.rows, p.cols))
+                .int("tasks_per_tick", p.tasks_per_tick as i64)
+                .float("kpi.ticks_per_sec", p.ticks_per_sec)
+                .int("tasks.completed", p.completed as i64)
+                .int("shard.handoffs", p.handoffs as i64)
+                .int("shard.workers_rebalanced", p.rebalanced as i64)
+                .int("shard.admission_shed", p.admission_shed as i64)
+                .flag("conserved", p.conserved)
+        })
+        .collect()
+}
+
+/// The fallback identity checks as shared KPI rows (one per check).
+pub fn fallback_kpi_rows(fallback: &FallbackPoint) -> Vec<KpiRow> {
+    [
+        ("single_tier_identical", fallback.single_tier_identical),
+        ("coupled_conserved", fallback.coupled_conserved),
         (
             "serial_parallel_identical",
-            report.fallback.serial_parallel_identical,
+            fallback.serial_parallel_identical,
         ),
-    ];
-    let mut rows = vec![vec!["check".to_string(), "holds".to_string()]];
-    for (name, holds) in checks {
-        fallback_table.add_row(vec![name.to_string(), holds.to_string()]);
-        rows.push(vec![name.to_string(), holds.to_string()]);
-    }
-    sink.write("cluster_fallback", &rows);
+    ]
+    .into_iter()
+    .map(|(name, holds)| KpiRow::new().label("check", name).flag("holds", holds))
+    .collect()
+}
+
+/// Renders the tables and archives the CSVs.
+pub fn render(report: &ClusterBenchReport, sink: &OutputSink) -> String {
+    let scaling_kpi = KpiReport::from_rows(kpi_rows(&report.scaling));
+    sink.write("cluster_scaling", &scaling_kpi.to_csv_rows(None));
+    let scaling_table = scaling_kpi.table(
+        "Cluster — ticks/sec by shard count (serial shard execution)",
+        None,
+    );
+
+    let fallback_kpi = KpiReport::from_rows(fallback_kpi_rows(&report.fallback));
+    sink.write("cluster_fallback", &fallback_kpi.to_csv_rows(None));
+    let fallback_table = fallback_kpi.table("Cluster — fallback and determinism identities", None);
 
     let speedup = report
         .speedup_over_monolith(8)

@@ -17,8 +17,7 @@
 use crate::report::{num, OutputSink};
 use react_core::MatcherPolicy;
 use react_crowd::{RunReport, Scenario, ScenarioRunner};
-use react_metrics::table::pct;
-use react_metrics::{ascii_chart, ChartSeries, Table};
+use react_metrics::{ascii_chart, ChartSeries, KpiReport, KpiRow};
 
 /// The three policies of the paper's end-to-end comparison.
 pub fn paper_policies() -> [MatcherPolicy; 3] {
@@ -77,65 +76,35 @@ pub fn run(params: &EndToEndParams) -> Vec<RunReport> {
         .collect()
 }
 
+/// The comparison as shared KPI rows (one schema serves the summary
+/// table, the CSV and the experiment suite). Counter-backed columns use
+/// the obs-catalog names.
+pub fn kpi_rows(reports: &[RunReport]) -> Vec<KpiRow> {
+    reports
+        .iter()
+        .map(|r| {
+            KpiRow::new()
+                .label("policy", r.matcher_name)
+                .int("kpi.received", r.received as i64)
+                .int("deadlines.met", r.met_deadline as i64)
+                .pct("kpi.deadline_hit_rate", r.deadline_ratio())
+                .int("feedback.positive", r.positive_feedback as i64)
+                .pct("kpi.positive_rate", r.positive_ratio())
+                .int("tasks.reassigned", r.reassignments as i64)
+                .float("kpi.avg_exec_s", r.avg_exec_time())
+                .float("kpi.avg_total_s", r.avg_total_time())
+                .float("matching.seconds", r.total_matching_seconds)
+                .int("batches.run", r.batches as i64)
+        })
+        .collect()
+}
+
 /// Prints the Figs. 5–8 tables and archives CSVs (summary + the two
 /// cumulative curves, thinned to ≤ 200 points each).
 pub fn report(reports: &[RunReport], sink: &OutputSink) -> String {
-    let mut summary = Table::new(&[
-        "policy",
-        "received",
-        "met deadline",
-        "met %",
-        "positive",
-        "positive %",
-        "reassigned",
-        "avg exec s (fig7)",
-        "avg total s (fig8)",
-        "match s",
-        "batches",
-    ])
-    .with_title("Figures 5-8 — end-to-end comparison");
-    for r in reports {
-        summary.add_row(vec![
-            r.matcher_name.to_string(),
-            r.received.to_string(),
-            r.met_deadline.to_string(),
-            pct(r.deadline_ratio()),
-            r.positive_feedback.to_string(),
-            pct(r.positive_ratio()),
-            r.reassignments.to_string(),
-            format!("{:.1}", r.avg_exec_time()),
-            format!("{:.1}", r.avg_total_time()),
-            format!("{:.0}", r.total_matching_seconds),
-            r.batches.to_string(),
-        ]);
-    }
-
-    // Summary CSV.
-    let mut rows = vec![vec![
-        "policy".to_string(),
-        "received".to_string(),
-        "met_deadline".to_string(),
-        "positive_feedback".to_string(),
-        "reassignments".to_string(),
-        "avg_exec_s".to_string(),
-        "avg_total_s".to_string(),
-        "matching_s".to_string(),
-        "batches".to_string(),
-    ]];
-    for r in reports {
-        rows.push(vec![
-            r.matcher_name.to_string(),
-            r.received.to_string(),
-            r.met_deadline.to_string(),
-            r.positive_feedback.to_string(),
-            r.reassignments.to_string(),
-            num(r.avg_exec_time()),
-            num(r.avg_total_time()),
-            num(r.total_matching_seconds),
-            r.batches.to_string(),
-        ]);
-    }
-    sink.write("fig5_8_summary", &rows);
+    let kpi = KpiReport::from_rows(kpi_rows(reports));
+    sink.write("fig5_8_summary", &kpi.to_csv_rows(None));
+    let summary = kpi.table("Figures 5-8 — end-to-end comparison", None);
 
     // Curve CSVs (Figs. 5 and 6).
     for (name, series_of) in [

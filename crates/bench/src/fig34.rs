@@ -16,14 +16,14 @@
 // timing IS the measurement here, and react-bench has no react-runtime
 // dependency to borrow a Stopwatch from.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use react_matching::{
     BipartiteGraph, CostModel, GreedyMatcher, HungarianMatcher, Matcher, MetropolisMatcher,
     ReactMatcher,
 };
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow};
 use std::time::Instant;
 
 /// One measured point of the Fig. 3/4 sweep.
@@ -130,45 +130,35 @@ pub fn run(params: &Fig34Params) -> Vec<MatchPoint> {
     points
 }
 
+/// The sweep points as shared KPI rows (one schema serves the tables,
+/// the CSV and the experiment suite).
+pub fn kpi_rows(points: &[MatchPoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            KpiRow::new()
+                .label("algorithm", &p.algo)
+                .int("tasks", p.tasks as i64)
+                .float("modeled_secs", p.modeled_secs)
+                .float("wall_secs", p.wall_secs)
+                .float("weight", p.weight)
+                .int("matched", p.matched as i64)
+        })
+        .collect()
+}
+
 /// Prints the Fig. 3 and Fig. 4 tables and archives the CSV.
 pub fn report(points: &[MatchPoint], sink: &OutputSink) -> String {
-    let mut fig3 = Table::new(&["algorithm", "tasks", "modeled s", "measured s"])
-        .with_title("Figure 3 — matching execution time (1000 workers, full graph)");
-    let mut fig4 = Table::new(&["algorithm", "tasks", "matching weight", "matched"])
-        .with_title("Figure 4 — matching output (Σ w_ij of the selected edges)");
-    for p in points {
-        fig3.add_row(vec![
-            p.algo.clone(),
-            p.tasks.to_string(),
-            format!("{:.2}", p.modeled_secs),
-            format!("{:.4}", p.wall_secs),
-        ]);
-        fig4.add_row(vec![
-            p.algo.clone(),
-            p.tasks.to_string(),
-            format!("{:.2}", p.weight),
-            p.matched.to_string(),
-        ]);
-    }
-    let mut rows = vec![vec![
-        "algorithm".to_string(),
-        "tasks".to_string(),
-        "modeled_secs".to_string(),
-        "wall_secs".to_string(),
-        "weight".to_string(),
-        "matched".to_string(),
-    ]];
-    for p in points {
-        rows.push(vec![
-            p.algo.clone(),
-            p.tasks.to_string(),
-            num(p.modeled_secs),
-            format!("{:.6}", p.wall_secs),
-            num(p.weight),
-            p.matched.to_string(),
-        ]);
-    }
-    sink.write("fig3_fig4_matching", &rows);
+    let report = KpiReport::from_rows(kpi_rows(points));
+    sink.write("fig3_fig4_matching", &report.to_csv_rows(None));
+    let fig3 = report.table(
+        "Figure 3 — matching execution time (1000 workers, full graph)",
+        Some(&["algorithm", "tasks", "modeled_secs", "wall_secs"]),
+    );
+    let fig4 = report.table(
+        "Figure 4 — matching output (Σ w_ij of the selected edges)",
+        Some(&["algorithm", "tasks", "weight", "matched"]),
+    );
     format!("{}\n{}", fig3.render(), fig4.render())
 }
 

@@ -22,7 +22,7 @@
 // timing IS the measurement here, and react-bench has no react-runtime
 // dependency to borrow a Stopwatch from.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use react_core::{
@@ -31,7 +31,7 @@ use react_core::{
 };
 use react_geo::GeoPoint;
 use react_matching::{CostModel, Matcher, ReactMatcher};
-use react_metrics::Table;
+use react_metrics::{write_stamped, ArtifactOutcome, KpiReport, KpiRow, Provenance};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -374,6 +374,11 @@ pub fn default_json_path() -> PathBuf {
 /// Serializes the report as the `BENCH_hotpath.json` document
 /// (hand-rolled JSON; the workspace carries no serializer dependency).
 pub fn to_json(report: &HotpathReport) -> String {
+    to_json_with(report, None)
+}
+
+/// [`to_json`] with an optional embedded provenance stamp.
+pub fn to_json_with(report: &HotpathReport, provenance: Option<&Provenance>) -> String {
     let builds: Vec<String> = report
         .builds
         .iter()
@@ -417,10 +422,14 @@ pub fn to_json(report: &HotpathReport) -> String {
             )
         })
         .collect();
+    let stamp = provenance.map_or(String::new(), |p| {
+        format!("  \"provenance\": {},\n", p.to_json())
+    });
     format!(
-        "{{\n  \"schema\": \"react-hotpath-v1\",\n  \"quick\": {},\n  \
+        "{{\n  \"schema\": \"react-hotpath-v1\",\n{}  \"quick\": {},\n  \
          \"threads\": {},\n  \"graph_build\": [\n{}\n  ],\n  \
          \"matcher\": [\n{}\n  ],\n  \"ticks\": [\n{}\n  ]\n}}\n",
+        stamp,
         report.quick,
         react_core::par::parallelism(),
         builds.join(",\n"),
@@ -437,105 +446,83 @@ pub fn write_json(report: &HotpathReport, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, to_json(report))
 }
 
+/// Writes the JSON artifact with an embedded provenance stamp, backing
+/// up a differing prior artifact as `<stem>.prev.json` instead of
+/// silently overwriting it.
+pub fn write_json_stamped(
+    report: &HotpathReport,
+    path: &Path,
+    provenance: &Provenance,
+) -> std::io::Result<ArtifactOutcome> {
+    write_stamped(path, &to_json_with(report, Some(provenance)))
+}
+
+/// The cold-vs-warm graph-build points as shared KPI rows.
+pub fn build_kpi_rows(builds: &[BuildPoint]) -> Vec<KpiRow> {
+    builds
+        .iter()
+        .map(|b| {
+            KpiRow::new()
+                .int("workers", b.workers as i64)
+                .int("tasks", b.tasks as i64)
+                .int("edges", b.edges as i64)
+                .float("cold_ns_per_edge", b.cold_ns_per_edge)
+                .float("warm_ns_per_edge", b.warm_ns_per_edge)
+                .float("speedup", b.speedup())
+                .int("build.rows_reused", b.rows_reused as i64)
+                .int("build.cdf_memo_hits", b.memo_hits as i64)
+                .flag("identical", b.identical)
+        })
+        .collect()
+}
+
+/// The matcher-throughput points as shared KPI rows.
+pub fn matcher_kpi_rows(matchers: &[MatcherPoint]) -> Vec<KpiRow> {
+    matchers
+        .iter()
+        .map(|m| {
+            KpiRow::new()
+                .int("workers", m.workers as i64)
+                .int("tasks", m.tasks as i64)
+                .int("edges", m.edges as i64)
+                .float("kpi.cycles_per_sec", m.cycles_per_sec)
+        })
+        .collect()
+}
+
+/// The tick-throughput points as shared KPI rows.
+pub fn tick_kpi_rows(ticks: &[TickPoint]) -> Vec<KpiRow> {
+    ticks
+        .iter()
+        .map(|t| {
+            KpiRow::new()
+                .int("workers", t.workers as i64)
+                .float("kpi.serial_ticks_per_sec", t.serial_ticks_per_sec)
+                .float("kpi.parallel_ticks_per_sec", t.parallel_ticks_per_sec)
+                .flag("identical", t.identical)
+        })
+        .collect()
+}
+
 /// Renders the three tables and archives the CSVs.
 pub fn render(report: &HotpathReport, sink: &OutputSink) -> String {
-    let mut build_table = Table::new(&[
-        "workers",
-        "tasks",
-        "edges",
-        "cold ns/edge",
-        "warm ns/edge",
-        "speedup",
-        "rows reused",
-        "memo hits",
-        "identical",
-    ])
-    .with_title("Graph build — cold GraphBuilder vs warm BatchScratch (serial)".to_string());
-    let mut rows = vec![vec![
-        "workers".to_string(),
-        "tasks".to_string(),
-        "edges".to_string(),
-        "cold_ns_per_edge".to_string(),
-        "warm_ns_per_edge".to_string(),
-        "speedup".to_string(),
-        "rows_reused".to_string(),
-        "memo_hits".to_string(),
-        "identical".to_string(),
-    ]];
-    for b in &report.builds {
-        build_table.add_row(vec![
-            b.workers.to_string(),
-            b.tasks.to_string(),
-            b.edges.to_string(),
-            format!("{:.1}", b.cold_ns_per_edge),
-            format!("{:.1}", b.warm_ns_per_edge),
-            format!("{:.2}x", b.speedup()),
-            b.rows_reused.to_string(),
-            b.memo_hits.to_string(),
-            b.identical.to_string(),
-        ]);
-        rows.push(vec![
-            b.workers.to_string(),
-            b.tasks.to_string(),
-            b.edges.to_string(),
-            num(b.cold_ns_per_edge),
-            num(b.warm_ns_per_edge),
-            num(b.speedup()),
-            b.rows_reused.to_string(),
-            b.memo_hits.to_string(),
-            b.identical.to_string(),
-        ]);
-    }
-    sink.write("hotpath_graph_build", &rows);
+    let build_kpi = KpiReport::from_rows(build_kpi_rows(&report.builds));
+    sink.write("hotpath_graph_build", &build_kpi.to_csv_rows(None));
+    let build_table = build_kpi.table(
+        "Graph build — cold GraphBuilder vs warm BatchScratch (serial)",
+        None,
+    );
 
-    let mut matcher_table = Table::new(&["workers", "tasks", "edges", "cycles/s"])
-        .with_title("Matcher — REACT local-search throughput".to_string());
-    let mut rows = vec![vec![
-        "workers".to_string(),
-        "tasks".to_string(),
-        "edges".to_string(),
-        "cycles_per_sec".to_string(),
-    ]];
-    for m in &report.matchers {
-        matcher_table.add_row(vec![
-            m.workers.to_string(),
-            m.tasks.to_string(),
-            m.edges.to_string(),
-            format!("{:.0}", m.cycles_per_sec),
-        ]);
-        rows.push(vec![
-            m.workers.to_string(),
-            m.tasks.to_string(),
-            m.edges.to_string(),
-            num(m.cycles_per_sec),
-        ]);
-    }
-    sink.write("hotpath_matcher", &rows);
+    let matcher_kpi = KpiReport::from_rows(matcher_kpi_rows(&report.matchers));
+    sink.write("hotpath_matcher", &matcher_kpi.to_csv_rows(None));
+    let matcher_table = matcher_kpi.table("Matcher — REACT local-search throughput", None);
 
-    let mut tick_table =
-        Table::new(&["workers", "serial ticks/s", "parallel ticks/s", "identical"])
-            .with_title("End-to-end — ReactServer ticks/sec, serial vs parallel build".to_string());
-    let mut rows = vec![vec![
-        "workers".to_string(),
-        "serial_ticks_per_sec".to_string(),
-        "parallel_ticks_per_sec".to_string(),
-        "identical".to_string(),
-    ]];
-    for t in &report.ticks {
-        tick_table.add_row(vec![
-            t.workers.to_string(),
-            format!("{:.1}", t.serial_ticks_per_sec),
-            format!("{:.1}", t.parallel_ticks_per_sec),
-            t.identical.to_string(),
-        ]);
-        rows.push(vec![
-            t.workers.to_string(),
-            num(t.serial_ticks_per_sec),
-            num(t.parallel_ticks_per_sec),
-            t.identical.to_string(),
-        ]);
-    }
-    sink.write("hotpath_ticks", &rows);
+    let tick_kpi = KpiReport::from_rows(tick_kpi_rows(&report.ticks));
+    sink.write("hotpath_ticks", &tick_kpi.to_csv_rows(None));
+    let tick_table = tick_kpi.table(
+        "End-to-end — ReactServer ticks/sec, serial vs parallel build",
+        None,
+    );
 
     format!(
         "{}\n{}\n{}",

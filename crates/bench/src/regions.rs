@@ -19,14 +19,14 @@
 // timing IS the measurement here, and react-bench has no react-runtime
 // dependency to borrow a Stopwatch from.
 
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use react_core::{
     Config, GraphBuilder, MatcherPolicy, ProfilingComponent, TaskCategory, TaskId,
     TaskManagementComponent, WorkerId,
 };
 use react_crowd::{MultiRegionRunner, MultiRegionScenario, Scenario};
 use react_geo::GeoPoint;
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow};
 use std::time::Instant;
 
 /// Sweep parameters.
@@ -189,35 +189,30 @@ pub fn observe(params: &RegionSweepParams) -> Vec<ObservePoint> {
         .collect()
 }
 
+/// The observability-overhead measurements as shared KPI rows.
+pub fn observe_kpi_rows(points: &[ObservePoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            KpiRow::new()
+                .int("regions", p.regions as i64)
+                .float("null_secs", p.null_secs)
+                .float("recording_secs", p.recording_secs)
+                .float("overhead_pct", p.overhead_pct())
+                .flag("identical", p.identical)
+        })
+        .collect()
+}
+
 /// Renders the observability-overhead table (plus the largest run's
 /// span/counter catalog) and archives the CSV.
 pub fn observe_report(points: &[ObservePoint], sink: &OutputSink) -> String {
-    let mut table = Table::new(&["regions", "null s", "recording s", "overhead", "identical"])
-        .with_title("Observability — NullObserver vs RecordingObserver (serial)".to_string());
-    let mut rows = vec![vec![
-        "regions".to_string(),
-        "null_secs".to_string(),
-        "recording_secs".to_string(),
-        "overhead_pct".to_string(),
-        "identical".to_string(),
-    ]];
-    for p in points {
-        table.add_row(vec![
-            p.regions.to_string(),
-            format!("{:.4}", p.null_secs),
-            format!("{:.4}", p.recording_secs),
-            format!("{:+.2}%", p.overhead_pct()),
-            p.identical.to_string(),
-        ]);
-        rows.push(vec![
-            p.regions.to_string(),
-            num(p.null_secs),
-            num(p.recording_secs),
-            num(p.overhead_pct()),
-            p.identical.to_string(),
-        ]);
-    }
-    sink.write("observability_overhead", &rows);
+    let kpi = KpiReport::from_rows(observe_kpi_rows(points));
+    sink.write("observability_overhead", &kpi.to_csv_rows(None));
+    let table = kpi.table(
+        "Observability — NullObserver vs RecordingObserver (serial)",
+        None,
+    );
     match points.last() {
         Some(last) => format!(
             "{}\nTelemetry of the {}-region run:\n{}",
@@ -320,6 +315,39 @@ pub fn build_scaling(pool_sizes: &[usize], tasks: usize) -> Vec<BuildSweepPoint>
         .collect()
 }
 
+/// The region-execution measurements as shared KPI rows.
+pub fn kpi_rows(points: &[RegionSweepPoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            KpiRow::new()
+                .int("regions", p.regions as i64)
+                .float("serial_secs", p.serial_secs)
+                .float("parallel_secs", p.parallel_secs)
+                .float("speedup", p.speedup())
+                .flag("identical", p.identical)
+                .int("deadlines.met", p.met_deadline as i64)
+        })
+        .collect()
+}
+
+/// The graph-build measurements as shared KPI rows.
+pub fn build_kpi_rows(builds: &[BuildSweepPoint]) -> Vec<KpiRow> {
+    builds
+        .iter()
+        .map(|b| {
+            KpiRow::new()
+                .int("workers", b.workers as i64)
+                .int("tasks", b.tasks as i64)
+                .int("edges", b.edges as i64)
+                .float("serial_secs", b.serial_secs)
+                .float("parallel_secs", b.parallel_secs)
+                .float("speedup", b.speedup())
+                .flag("identical", b.identical)
+        })
+        .collect()
+}
+
 /// Prints both scalability tables and archives the CSVs.
 pub fn report(
     points: &[RegionSweepPoint],
@@ -327,79 +355,19 @@ pub fn report(
     sink: &OutputSink,
 ) -> String {
     let threads = react_core::par::parallelism();
-    let mut regions_table =
-        Table::new(&["regions", "serial s", "parallel s", "speedup", "identical"]).with_title(
-            format!("Region execution — serial vs parallel ({threads} thread(s))"),
-        );
-    let mut rows = vec![vec![
-        "regions".to_string(),
-        "serial_secs".to_string(),
-        "parallel_secs".to_string(),
-        "speedup".to_string(),
-        "identical".to_string(),
-        "met_deadline".to_string(),
-    ]];
-    for p in points {
-        regions_table.add_row(vec![
-            p.regions.to_string(),
-            format!("{:.4}", p.serial_secs),
-            format!("{:.4}", p.parallel_secs),
-            format!("{:.2}x", p.speedup()),
-            p.identical.to_string(),
-        ]);
-        rows.push(vec![
-            p.regions.to_string(),
-            num(p.serial_secs),
-            num(p.parallel_secs),
-            num(p.speedup()),
-            p.identical.to_string(),
-            p.met_deadline.to_string(),
-        ]);
-    }
-    sink.write("region_scalability", &rows);
+    let regions_kpi = KpiReport::from_rows(kpi_rows(points));
+    sink.write("region_scalability", &regions_kpi.to_csv_rows(None));
+    let regions_table = regions_kpi.table(
+        &format!("Region execution — serial vs parallel ({threads} thread(s))"),
+        None,
+    );
 
-    let mut build_table = Table::new(&[
-        "workers",
-        "tasks",
-        "edges",
-        "serial s",
-        "parallel s",
-        "speedup",
-        "identical",
-    ])
-    .with_title(format!(
-        "Graph build — serial vs parallel phase B ({threads} thread(s))"
-    ));
-    let mut rows = vec![vec![
-        "workers".to_string(),
-        "tasks".to_string(),
-        "edges".to_string(),
-        "serial_secs".to_string(),
-        "parallel_secs".to_string(),
-        "speedup".to_string(),
-        "identical".to_string(),
-    ]];
-    for b in builds {
-        build_table.add_row(vec![
-            b.workers.to_string(),
-            b.tasks.to_string(),
-            b.edges.to_string(),
-            format!("{:.5}", b.serial_secs),
-            format!("{:.5}", b.parallel_secs),
-            format!("{:.2}x", b.speedup()),
-            b.identical.to_string(),
-        ]);
-        rows.push(vec![
-            b.workers.to_string(),
-            b.tasks.to_string(),
-            b.edges.to_string(),
-            num(b.serial_secs),
-            num(b.parallel_secs),
-            num(b.speedup()),
-            b.identical.to_string(),
-        ]);
-    }
-    sink.write("graph_build_scalability", &rows);
+    let build_kpi = KpiReport::from_rows(build_kpi_rows(builds));
+    sink.write("graph_build_scalability", &build_kpi.to_csv_rows(None));
+    let build_table = build_kpi.table(
+        &format!("Graph build — serial vs parallel phase B ({threads} thread(s))"),
+        None,
+    );
     format!("{}\n{}", regions_table.render(), build_table.render())
 }
 

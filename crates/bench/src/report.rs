@@ -1,13 +1,20 @@
 //! Output helpers shared by the experiment modules.
 
-use react_metrics::csv::write_csv;
+use react_metrics::csv::{to_csv_string, write_csv};
+use react_metrics::{write_stamped, Provenance};
 use std::path::{Path, PathBuf};
 
 /// Where experiment CSVs land (`results/` under the workspace root, or
 /// the directory given on the CLI).
+///
+/// A sink may carry a [`Provenance`] stamp; stamped sinks prepend a
+/// `# provenance: ...` comment line to every CSV and route the write
+/// through [`write_stamped`], so a prior differing artifact is preserved
+/// as `<name>.prev.csv` instead of silently overwritten.
 #[derive(Debug, Clone)]
 pub struct OutputSink {
     dir: Option<PathBuf>,
+    provenance: Option<Provenance>,
 }
 
 impl OutputSink {
@@ -15,12 +22,27 @@ impl OutputSink {
     pub fn to_dir(dir: impl Into<PathBuf>) -> Self {
         OutputSink {
             dir: Some(dir.into()),
+            provenance: None,
         }
     }
 
     /// A sink that discards CSVs (tables still print to stdout).
     pub fn discard() -> Self {
-        OutputSink { dir: None }
+        OutputSink {
+            dir: None,
+            provenance: None,
+        }
+    }
+
+    /// Attaches an attribution stamp to every artifact this sink writes.
+    pub fn with_provenance(mut self, provenance: Provenance) -> Self {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// The attribution stamp, when one is attached.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
     }
 
     /// The target directory, when writing is enabled.
@@ -33,7 +55,14 @@ impl OutputSink {
     pub fn write(&self, name: &str, rows: &[Vec<String>]) -> Option<PathBuf> {
         let dir = self.dir.as_ref()?;
         let path = dir.join(format!("{name}.csv"));
-        match write_csv(&path, rows) {
+        let result = match &self.provenance {
+            Some(p) => {
+                let content = format!("{}\n{}", p.comment_line(), to_csv_string(rows));
+                write_stamped(&path, &content).map(|_| ())
+            }
+            None => write_csv(&path, rows),
+        };
+        match result {
             Ok(()) => Some(path),
             Err(e) => {
                 eprintln!("warning: could not write {}: {e}", path.display());
@@ -71,6 +100,28 @@ mod tests {
             .write("t", &[vec!["h".to_string()], vec!["1".to_string()]])
             .unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "h\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stamped_sink_prepends_provenance_and_backs_up() {
+        let dir = std::env::temp_dir().join("react_bench_report_stamped_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = OutputSink::to_dir(&dir).with_provenance(Provenance::new(7));
+        let path = sink
+            .write("t", &[vec!["h".to_string()], vec!["1".to_string()]])
+            .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "# provenance: seed=7\nh\n1\n"
+        );
+        // A differing rewrite must preserve the prior artifact.
+        sink.write("t", &[vec!["h".to_string()], vec!["2".to_string()]])
+            .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("t.prev.csv")).unwrap(),
+            "# provenance: seed=7\nh\n1\n"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,10 +9,9 @@
 //! Traditional is roughly flat.
 
 use crate::endtoend::paper_policies;
-use crate::report::{num, OutputSink};
+use crate::report::OutputSink;
 use react_crowd::{RunReport, Scenario, ScenarioRunner};
-use react_metrics::table::pct;
-use react_metrics::Table;
+use react_metrics::{KpiReport, KpiRow};
 
 /// One sweep cell.
 #[derive(Debug, Clone)]
@@ -84,47 +83,36 @@ pub fn run(params: &SweepParams) -> Vec<SweepPoint> {
     out
 }
 
+/// The sweep cells as shared KPI rows (one schema serves the tables,
+/// the CSV and the experiment suite).
+pub fn kpi_rows(points: &[SweepPoint]) -> Vec<KpiRow> {
+    points
+        .iter()
+        .map(|p| {
+            KpiRow::new()
+                .label("policy", p.policy)
+                .int("workers", p.n_workers as i64)
+                .float("rate", p.rate)
+                .pct("kpi.deadline_hit_rate", p.report.deadline_ratio())
+                .pct("kpi.positive_rate", p.report.positive_ratio())
+                .int("tasks.reassigned", p.report.reassignments as i64)
+                .float("matching.seconds", p.report.total_matching_seconds)
+        })
+        .collect()
+}
+
 /// Prints the Fig. 9/10 tables and archives the CSV.
 pub fn report(points: &[SweepPoint], sink: &OutputSink) -> String {
-    let mut fig9 = Table::new(&["policy", "workers", "rate", "met deadline %"])
-        .with_title("Figure 9 — % of tasks before deadline vs graph size");
-    let mut fig10 = Table::new(&["policy", "workers", "rate", "positive feedback %"])
-        .with_title("Figure 10 — % of positive feedback vs graph size");
-    for p in points {
-        fig9.add_row(vec![
-            p.policy.to_string(),
-            p.n_workers.to_string(),
-            format!("{}", p.rate),
-            pct(p.report.deadline_ratio()),
-        ]);
-        fig10.add_row(vec![
-            p.policy.to_string(),
-            p.n_workers.to_string(),
-            format!("{}", p.rate),
-            pct(p.report.positive_ratio()),
-        ]);
-    }
-    let mut rows = vec![vec![
-        "policy".to_string(),
-        "workers".to_string(),
-        "rate".to_string(),
-        "met_ratio".to_string(),
-        "positive_ratio".to_string(),
-        "reassignments".to_string(),
-        "matching_s".to_string(),
-    ]];
-    for p in points {
-        rows.push(vec![
-            p.policy.to_string(),
-            p.n_workers.to_string(),
-            num(p.rate),
-            num(p.report.deadline_ratio()),
-            num(p.report.positive_ratio()),
-            p.report.reassignments.to_string(),
-            num(p.report.total_matching_seconds),
-        ]);
-    }
-    sink.write("fig9_fig10_scalability", &rows);
+    let kpi = KpiReport::from_rows(kpi_rows(points));
+    sink.write("fig9_fig10_scalability", &kpi.to_csv_rows(None));
+    let fig9 = kpi.table(
+        "Figure 9 — % of tasks before deadline vs graph size",
+        Some(&["policy", "workers", "rate", "kpi.deadline_hit_rate"]),
+    );
+    let fig10 = kpi.table(
+        "Figure 10 — % of positive feedback vs graph size",
+        Some(&["policy", "workers", "rate", "kpi.positive_rate"]),
+    );
     format!("{}\n{}", fig9.render(), fig10.render())
 }
 

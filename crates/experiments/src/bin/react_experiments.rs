@@ -1,0 +1,252 @@
+//! `react-experiments` — one CLI for every experiment suite.
+//!
+//! The classic figure commands (`fig3` … `cluster`, `all`) are kept
+//! verbatim; the new `sweep <manifest.toml>` command expands a
+//! declarative manifest into a deterministic run grid and fans it out
+//! across cores. Either way the generic driver in
+//! [`react_experiments::sweep`] aggregates one provenance-stamped KPI
+//! report.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use react_bench::report::OutputSink;
+use react_experiments::{registry, run_suites, suite, Experiment, Manifest, SweepOptions};
+use react_metrics::{ArtifactOutcome, Provenance};
+
+const USAGE: &str = "\
+react-experiments — unified experiment runner
+
+USAGE:
+    react-experiments <command> [flags]
+
+COMMANDS:
+    sweep <manifest.toml>   expand and run a declarative sweep manifest
+    all                     every legacy suite (examples/sweep_all.toml)
+    list                    list registered suites
+    fig3|fig4               WBGM matching micro-benchmarks (Figures 3-4)
+    fig5|fig6|fig7|fig8     end-to-end comparison (Figures 5-8)
+    fig9|fig10              scalability sweep (Figures 9-10)
+    regions                 region/graph-build wall-clock scaling
+    hotpath                 scheduling hot-path micro-benchmarks
+    case                    CrowdFlower case study (Sec. V-C)
+    ablation                the eleven design-choice ablations
+    chaos                   fault-injection chaos sweep
+    cluster                 sharded cluster-mode scaling
+
+FLAGS:
+    --quick        reduced sizes (seconds instead of minutes)
+    --observe      add the observability-overhead pass to `regions`
+    --no-csv       skip CSV/JSON-lines artifacts
+    --seed N       base seed (default 42; overrides a manifest's seed)
+    --out DIR      artifact directory (default results/)
+    --jobs N       worker cap for parallel-safe suites (default: cores)
+    --serial       force single-threaded execution
+";
+
+struct Cli {
+    command: String,
+    manifest_path: Option<PathBuf>,
+    quick: bool,
+    observe: bool,
+    no_csv: bool,
+    seed: u64,
+    seed_given: bool,
+    out: PathBuf,
+    jobs: Option<usize>,
+    serial: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        command: String::new(),
+        manifest_path: None,
+        quick: false,
+        observe: false,
+        no_csv: false,
+        seed: 42,
+        seed_given: false,
+        out: PathBuf::from("results"),
+        jobs: None,
+        serial: false,
+    };
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--observe" => cli.observe = true,
+            "--no-csv" => cli.no_csv = true,
+            "--serial" => cli.serial = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+                cli.seed_given = true;
+            }
+            "--out" => {
+                cli.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+                cli.jobs = Some(n.max(1));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    cli.command = positional.next().ok_or("missing command")?;
+    if cli.command == "sweep" {
+        cli.manifest_path = Some(PathBuf::from(
+            positional.next().ok_or("sweep needs a manifest path")?,
+        ));
+    }
+    if let Some(extra) = positional.next() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    Ok(cli)
+}
+
+/// Locates `examples/sweep_all.toml` from the build-time workspace root,
+/// falling back to the current directory for relocated binaries.
+fn sweep_all_manifest() -> PathBuf {
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweep_all.toml");
+    if baked.exists() {
+        baked
+    } else {
+        PathBuf::from("examples/sweep_all.toml")
+    }
+}
+
+fn load_manifest(path: &Path) -> Result<Manifest, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    Manifest::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    // The manifest (when any) decides the suite list and the base seed.
+    let manifest = match cli.command.as_str() {
+        "sweep" => Some(load_manifest(cli.manifest_path.as_deref().unwrap())?),
+        "all" => Some(load_manifest(&sweep_all_manifest())?),
+        _ => None,
+    };
+    let mut manifest = manifest;
+    if cli.seed_given {
+        if let Some(m) = manifest.as_mut() {
+            m.seed = cli.seed;
+        }
+    }
+    let base_seed = manifest.as_ref().map(|m| m.seed).unwrap_or(cli.seed);
+
+    let mut provenance = Provenance::new(base_seed);
+    if let Some(m) = &manifest {
+        provenance = provenance.with_manifest_hash(m.hash);
+    }
+    provenance = provenance
+        .with_git_revision_from(&std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")));
+
+    // Even a discard sink carries the stamp: the BENCH JSONs are
+    // written regardless of `--no-csv` and must stay attributable.
+    let sink = if cli.no_csv {
+        OutputSink::discard()
+    } else {
+        OutputSink::to_dir(&cli.out)
+    }
+    .with_provenance(provenance);
+    let all = registry(&sink, cli.observe);
+    if cli.command == "list" {
+        for s in &all {
+            println!("{:12} {}", s.name(), s.title());
+        }
+        return Ok(());
+    }
+    if let Some(dir) = sink.dir() {
+        println!("# CSVs → {}/\n", dir.display());
+    }
+
+    let names: Vec<String> = match &manifest {
+        Some(m) => m.suites.clone(),
+        None => vec![cli.command.clone()],
+    };
+    let mut selected: Vec<&dyn Experiment> = Vec::new();
+    for name in &names {
+        let canonical = suite(name).ok_or_else(|| format!("unknown suite `{name}`"))?;
+        let exp = all
+            .iter()
+            .find(|s| s.name() == canonical)
+            .ok_or_else(|| format!("suite `{canonical}` is not registered"))?;
+        selected.push(exp.as_ref());
+    }
+
+    let opts = SweepOptions {
+        quick: cli.quick,
+        seed: cli.seed,
+        jobs: cli.jobs,
+        serial: cli.serial,
+        out_dir: if cli.no_csv {
+            None
+        } else {
+            Some(cli.out.clone())
+        },
+    };
+    let outcome = run_suites(&selected, manifest.as_ref(), &opts)?;
+
+    // Legacy suites print their classic reports while running; the
+    // driver's aggregate table is the view for manifest-grid suites.
+    for (exp, table) in selected.iter().zip(&outcome.tables) {
+        if exp.name() == "scenario" {
+            println!("{table}");
+        }
+    }
+    println!(
+        "# {} run(s) across {} suite(s), base seed {base_seed}",
+        outcome.total_runs,
+        selected.len()
+    );
+    for (path, result) in &outcome.artifacts {
+        match result {
+            ArtifactOutcome::Created => println!("# KPI → {}", path.display()),
+            ArtifactOutcome::Unchanged => {
+                println!("# KPI → {} (unchanged)", path.display())
+            }
+            ArtifactOutcome::BackedUp(prev) => {
+                println!(
+                    "# KPI → {} (prior kept as {})",
+                    path.display(),
+                    prev.display()
+                )
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprint!("{USAGE}");
+            return if e.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # react-experiments — declarative experiment orchestration
+//!
+//! One API for every experiment suite in the repo: an [`Experiment`]
+//! expands (from a sweep [`Manifest`] or its intrinsic cell list) into a
+//! deterministic list of [`RunSpec`]s, each run produces [`KpiRow`]s,
+//! and the generic [`sweep`] driver fans the specs out across cores,
+//! aggregates everything into one [`KpiReport`], and writes
+//! provenance-stamped JSON-lines + CSV artifacts plus a terminal
+//! summary table.
+//!
+//! Determinism contract: every run's seed is derived solely from the
+//! manifest base seed, the suite name and the run's default-elided axis
+//! coordinates ([`spec::derive_seed`]) — so the same manifest always
+//! reproduces byte-identical reports, serial or parallel, and extending
+//! a manifest with new axis values or whole new axes never reseeds the
+//! runs that already existed.
+//!
+//! [`KpiRow`]: react_metrics::KpiRow
+//! [`KpiReport`]: react_metrics::KpiReport
+
+pub mod executor;
+pub mod experiment;
+pub mod legacy;
+pub mod manifest;
+pub mod scenario;
+pub mod spec;
+pub mod sweep;
+
+pub use executor::run_indexed;
+pub use experiment::{ExpandCtx, Experiment};
+pub use manifest::{Manifest, ManifestError, ManifestValue};
+pub use scenario::ScenarioSweep;
+pub use spec::{derive_seed, expand, RunSpec};
+pub use sweep::{registry, run_suites, suite, SweepOptions, SweepOutcome};

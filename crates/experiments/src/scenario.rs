@@ -1,0 +1,453 @@
+//! The `scenario` suite: the fully manifest-driven experiment.
+//!
+//! Each run builds one crowd scenario from its axis coordinates — pool
+//! size, matcher (with cycle budget), fault plan, shard count,
+//! replicate index — executes it deterministically (single server via
+//! [`ScenarioRunner`], sharded via [`ClusterRunner`]'s serial path), and
+//! reads its KPIs from the run report, the attached
+//! [`RecordingObserver`] and the audit log. Every emitted value is
+//! simulation-deterministic (no wall clock), which is what makes sweep
+//! reports byte-identical across reruns and thread counts.
+//!
+//! Recognised axes/knobs (axes override knobs of the same name):
+//!
+//! | name           | kind  | default      | meaning                              |
+//! |----------------|-------|--------------|--------------------------------------|
+//! | `pool`         | int   | 40           | workers registered at t = 0          |
+//! | `matcher`      | str   | `react`      | `react[-C]`, `adaptive`, `metropolis[-C]`, `greedy`, `traditional`, `hungarian`, `auction`, `maxcard` |
+//! | `cycles`       | int   | 1000         | cycle budget for react/metropolis    |
+//! | `kappa`        | float | 0.2          | cycles/edge for `adaptive`           |
+//! | `faults`       | str   | `none`       | [`FaultPlan::from_manifest`] spec    |
+//! | `shards`       | int   | 1            | shard count (>1 runs the cluster)    |
+//! | `policy`       | str   | `coupled`    | [`ClusterPolicy::from_manifest`] spec|
+//! | `replicate`    | int   | 0            | replicate index (seed axis only)     |
+//! | `tasks`        | int   | 5 × pool     | total tasks submitted                |
+//! | `arrival_rate` | float | pool / 15    | task arrivals per second             |
+
+use std::collections::BTreeMap;
+
+use react_cluster::{ClusterPolicy, ClusterReport, ClusterRunner, ClusterScenario};
+use react_core::events::{AuditLog, TaskEventKind};
+use react_core::{MatcherPolicy, RecoveryConfig, TaskId};
+use react_crowd::{RunReport, Scenario, ScenarioRunner};
+use react_faults::FaultPlan;
+use react_metrics::KpiRow;
+use react_obs::{CounterKind, RecordingObserver};
+
+use crate::experiment::{ExpandCtx, Experiment};
+use crate::spec::{expand, RunSpec};
+
+/// The manifest-driven scenario sweep suite.
+pub struct ScenarioSweep;
+
+impl Experiment for ScenarioSweep {
+    fn name(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn title(&self) -> &'static str {
+        "manifest-driven crowd scenario sweep (pool × matcher × faults × shards)"
+    }
+
+    fn expand(&self, ctx: &ExpandCtx) -> Result<Vec<RunSpec>, String> {
+        let manifest = ctx
+            .manifest
+            .ok_or("the scenario suite is manifest-driven; run it via `sweep <manifest>`")?;
+        let specs = expand(manifest, self.name(), ctx.quick);
+        // Validate every coordinate eagerly: a sweep must fail before
+        // its first run, not in the middle of a fan-out.
+        for spec in &specs {
+            build_config(spec).map_err(|e| format!("run '{}': {e}", spec.label))?;
+        }
+        Ok(specs)
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<Vec<KpiRow>, String> {
+        let cfg = build_config(spec)?;
+        Ok(vec![run_config(&cfg, spec)])
+    }
+
+    fn table_columns(&self) -> Option<Vec<&'static str>> {
+        Some(vec![
+            "suite",
+            "run",
+            "kpi.received",
+            "tasks.completed",
+            "deadlines.met",
+            "kpi.deadline_hit_rate",
+            "kpi.assign_latency_p50_s",
+            "kpi.assign_latency_p99_s",
+            "recovery.tasks_shed",
+            "shard.handoffs",
+            "kpi.tasks_per_sim_s",
+        ])
+    }
+}
+
+/// A validated scenario configuration.
+struct RunConfig {
+    scenario: Scenario,
+    shards: usize,
+    policy: ClusterPolicy,
+}
+
+fn build_config(spec: &RunSpec) -> Result<RunConfig, String> {
+    let pool = spec.usize_param("pool").unwrap_or(40);
+    if pool == 0 {
+        return Err("pool must be at least 1".to_string());
+    }
+    let cycles = spec.usize_param("cycles").unwrap_or(1000);
+    let kappa = spec.f64_param("kappa").unwrap_or(0.2);
+    let matcher = parse_matcher(spec.str_param("matcher").unwrap_or("react"), cycles, kappa)?;
+    let faults = FaultPlan::from_manifest(spec.str_param("faults").unwrap_or("none"))?;
+    let shards = spec.usize_param("shards").unwrap_or(1);
+    if shards == 0 {
+        return Err("shards must be at least 1".to_string());
+    }
+    let policy = ClusterPolicy::from_manifest(spec.str_param("policy").unwrap_or("coupled"))?;
+    let tasks = spec.usize_param("tasks").unwrap_or(5 * pool);
+    let arrival_rate = spec.f64_param("arrival_rate").unwrap_or(pool as f64 / 15.0);
+    let arrival_ok = arrival_rate.is_finite() && arrival_rate > 0.0;
+    if !arrival_ok {
+        return Err(format!("arrival_rate must be positive, got {arrival_rate}"));
+    }
+
+    let mut sc = Scenario::smoke(matcher, spec.seed);
+    sc.label = if spec.label.is_empty() {
+        "scenario".to_string()
+    } else {
+        spec.label.clone()
+    };
+    sc.n_workers = pool;
+    sc.arrival_rate = arrival_rate;
+    sc.total_tasks = tasks;
+    sc.config.audit = true;
+    if !faults.is_noop() {
+        // Same posture as the chaos suite: faults without the recovery
+        // ladder just measure how fast everything dies.
+        sc.config.recovery = RecoveryConfig::aggressive(30.0);
+        sc.faults = Some(faults);
+    }
+    Ok(RunConfig {
+        scenario: sc,
+        shards,
+        policy,
+    })
+}
+
+/// Maps a manifest matcher name (optionally with an embedded `-cycles`
+/// budget) to a [`MatcherPolicy`].
+fn parse_matcher(name: &str, cycles: usize, kappa: f64) -> Result<MatcherPolicy, String> {
+    let (base, embedded) = match name.rsplit_once('-') {
+        Some((base, digits))
+            if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() =>
+        {
+            (base, digits.parse::<usize>().ok())
+        }
+        _ => (name, None),
+    };
+    let budget = embedded.unwrap_or(cycles).max(1);
+    match base {
+        "react" => Ok(MatcherPolicy::React { cycles: budget }),
+        "adaptive" | "react-adaptive" => Ok(MatcherPolicy::ReactAdaptive { kappa }),
+        "metropolis" => Ok(MatcherPolicy::Metropolis { cycles: budget }),
+        "greedy" => Ok(MatcherPolicy::Greedy),
+        "traditional" => Ok(MatcherPolicy::Traditional),
+        "hungarian" => Ok(MatcherPolicy::Hungarian),
+        "auction" => Ok(MatcherPolicy::Auction),
+        "maxcard" | "max-cardinality" => Ok(MatcherPolicy::MaxCardinality),
+        other => Err(format!(
+            "unknown matcher '{other}' (expected react[-C], adaptive, metropolis[-C], \
+             greedy, traditional, hungarian, auction or maxcard)"
+        )),
+    }
+}
+
+/// Splits a shard count into the most square `rows × cols` grid.
+fn grid_for(shards: usize) -> (u32, u32) {
+    let mut rows = 1;
+    let mut d = 1;
+    while d * d <= shards {
+        if shards.is_multiple_of(d) {
+            rows = d;
+        }
+        d += 1;
+    }
+    (rows as u32, (shards / rows) as u32)
+}
+
+fn run_config(cfg: &RunConfig, spec: &RunSpec) -> KpiRow {
+    let recording = RecordingObserver::new();
+    let observer = std::sync::Arc::new(recording.clone());
+    if cfg.shards <= 1 {
+        let report = ScenarioRunner::new(cfg.scenario.clone())
+            .with_observer(observer)
+            .run();
+        single_row(spec, &report, &recording)
+    } else {
+        let (rows, cols) = grid_for(cfg.shards);
+        let cluster = ClusterScenario {
+            global: cfg.scenario.clone(),
+            rows,
+            cols,
+            policy: cfg.policy,
+        };
+        // Serial shard ticking: bit-identical to the parallel path by
+        // the cluster's own tests, and independent of the executor's
+        // thread placement — the sweep's byte-identity depends on it.
+        let report = ClusterRunner::new(cluster)
+            .with_observer(observer)
+            .run_serial();
+        cluster_row(spec, &report, &recording)
+    }
+}
+
+/// Columns shared by single-server and cluster rows, so the aggregated
+/// report has one stable schema.
+fn base_row(spec: &RunSpec, rec: &RecordingObserver) -> KpiRow {
+    KpiRow::new()
+        .label("faults", spec.str_param("faults").unwrap_or("none"))
+        .int(
+            "tasks.assigned",
+            rec.counter(CounterKind::TasksAssigned) as i64,
+        )
+        .int(
+            "tasks.completed",
+            rec.counter(CounterKind::TasksCompleted) as i64,
+        )
+        .int(
+            "deadlines.met",
+            rec.counter(CounterKind::DeadlinesMet) as i64,
+        )
+        .int(
+            "feedback.positive",
+            rec.counter(CounterKind::PositiveFeedback) as i64,
+        )
+        .int(
+            "tasks.expired",
+            rec.counter(CounterKind::TasksExpired) as i64,
+        )
+        .int(
+            "tasks.reassigned",
+            rec.counter(CounterKind::Reassignments) as i64,
+        )
+        .int("batches.run", rec.counter(CounterKind::BatchesRun) as i64)
+        .int(
+            "recovery.timeout_recalls",
+            rec.counter(CounterKind::TimeoutRecalls) as i64,
+        )
+        .int(
+            "recovery.tasks_shed",
+            rec.counter(CounterKind::TasksShed) as i64,
+        )
+        .int(
+            "fault.dropouts",
+            rec.counter(CounterKind::FaultDropouts) as i64,
+        )
+        .int(
+            "fault.abandons",
+            rec.counter(CounterKind::FaultAbandons) as i64,
+        )
+        .int(
+            "shard.handoffs",
+            rec.counter(CounterKind::ShardHandoffs) as i64,
+        )
+        .int(
+            "shard.workers_rebalanced",
+            rec.counter(CounterKind::ShardWorkersRebalanced) as i64,
+        )
+        .int(
+            "shard.admission_shed",
+            rec.counter(CounterKind::ShardAdmissionShed) as i64,
+        )
+}
+
+fn single_row(spec: &RunSpec, report: &RunReport, rec: &RecordingObserver) -> KpiRow {
+    let latencies = report
+        .audit
+        .as_ref()
+        .map(assignment_latencies)
+        .unwrap_or_default();
+    finish_row(
+        base_row(spec, rec)
+            .int("kpi.received", report.received as i64)
+            .int("kpi.shards", 1),
+        report.received,
+        report.met_deadline,
+        report.total_matching_seconds,
+        report.sim_duration,
+        report.completed,
+        &latencies,
+    )
+}
+
+fn cluster_row(spec: &RunSpec, report: &ClusterReport, rec: &RecordingObserver) -> KpiRow {
+    let mut latencies: Vec<f64> = Vec::new();
+    for shard in &report.shards {
+        if let Some(audit) = &shard.audit {
+            latencies.extend(assignment_latencies(audit));
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let matching: f64 = report.shards.iter().map(|s| s.total_matching_seconds).sum();
+    finish_row(
+        base_row(spec, rec)
+            .int("kpi.received", report.received as i64)
+            .int("kpi.shards", report.shards.len() as i64),
+        report.received,
+        report.met_deadline(),
+        matching,
+        report.sim_duration,
+        report.completed(),
+        &latencies,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_row(
+    row: KpiRow,
+    received: u64,
+    met: u64,
+    matching_seconds: f64,
+    sim_duration: f64,
+    completed: u64,
+    latencies: &[f64],
+) -> KpiRow {
+    let hit_rate = if received > 0 {
+        met as f64 / received as f64
+    } else {
+        0.0
+    };
+    let throughput = if sim_duration > 0.0 {
+        completed as f64 / sim_duration
+    } else {
+        0.0
+    };
+    row.pct("kpi.deadline_hit_rate", hit_rate)
+        .float("kpi.assign_latency_p50_s", percentile(latencies, 0.50))
+        .float("kpi.assign_latency_p99_s", percentile(latencies, 0.99))
+        .float("matching.seconds", matching_seconds)
+        .float("kpi.sim_duration_s", sim_duration)
+        .float("kpi.tasks_per_sim_s", throughput)
+}
+
+/// Submission→first-assignment latencies (sim seconds), sorted.
+fn assignment_latencies(audit: &AuditLog) -> Vec<f64> {
+    let mut submitted: BTreeMap<TaskId, f64> = BTreeMap::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    for ev in audit.events() {
+        match ev.kind {
+            TaskEventKind::Submitted => {
+                submitted.entry(ev.task).or_insert(ev.at);
+            }
+            TaskEventKind::Assigned { .. } => {
+                if let Some(t0) = submitted.remove(&ev.task) {
+                    latencies.push(ev.at - t0);
+                }
+            }
+            _ => {}
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    latencies
+}
+
+/// Nearest-rank percentile over a sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn mini_manifest() -> Manifest {
+        Manifest::parse(
+            "[sweep]\nname = \"mini\"\nseed = 7\nsuites = [\"scenario\"]\n\
+             tasks = 40\n[axes]\npool = [12]\nmatcher = [\"react\", \"greedy\"]\n\
+             shards = [1, 2]\n",
+        )
+        .expect("manifest")
+    }
+
+    #[test]
+    fn expand_validates_eagerly() {
+        let m = Manifest::parse(
+            "[sweep]\nname = \"bad\"\nsuites = [\"scenario\"]\n\
+             [axes]\nmatcher = [\"quantum\"]\n",
+        )
+        .unwrap();
+        let ctx = ExpandCtx {
+            quick: true,
+            seed: m.seed,
+            manifest: Some(&m),
+        };
+        let err = ScenarioSweep.expand(&ctx).unwrap_err();
+        assert!(err.contains("unknown matcher"), "{err}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_schema_stable() {
+        let m = mini_manifest();
+        let ctx = ExpandCtx {
+            quick: true,
+            seed: m.seed,
+            manifest: Some(&m),
+        };
+        let specs = ScenarioSweep.expand(&ctx).expect("expand");
+        assert_eq!(specs.len(), 4);
+        let first = ScenarioSweep.run(&specs[3]).expect("run");
+        let again = ScenarioSweep.run(&specs[3]).expect("run");
+        assert_eq!(first, again, "same spec must reproduce identical KPIs");
+        let single = ScenarioSweep.run(&specs[0]).expect("run");
+        let cols_a: Vec<&str> = first[0].columns().collect();
+        let cols_b: Vec<&str> = single[0].columns().collect();
+        assert_eq!(cols_a, cols_b, "cluster and single rows share one schema");
+        assert!(first[0].metric("kpi.shards") == Some(2.0));
+        assert!(single[0].metric("kpi.received").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn matcher_names_parse_with_embedded_budgets() {
+        assert_eq!(
+            parse_matcher("react-300", 1000, 0.2),
+            Ok(MatcherPolicy::React { cycles: 300 })
+        );
+        assert_eq!(
+            parse_matcher("react", 700, 0.2),
+            Ok(MatcherPolicy::React { cycles: 700 })
+        );
+        assert_eq!(
+            parse_matcher("metropolis-50", 1000, 0.2),
+            Ok(MatcherPolicy::Metropolis { cycles: 50 })
+        );
+        assert_eq!(
+            parse_matcher("maxcard", 1, 0.2),
+            Ok(MatcherPolicy::MaxCardinality)
+        );
+        assert!(parse_matcher("quantum", 1, 0.2).is_err());
+    }
+
+    #[test]
+    fn grid_splits_are_most_square() {
+        assert_eq!(grid_for(1), (1, 1));
+        assert_eq!(grid_for(2), (1, 2));
+        assert_eq!(grid_for(4), (2, 2));
+        assert_eq!(grid_for(6), (2, 3));
+        assert_eq!(grid_for(8), (2, 4));
+        assert_eq!(grid_for(7), (1, 7));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Golden test: the committed `examples/sweep_quick.toml` expands to a
+//! pinned run grid. If this fails, either the example manifest changed
+//! (update the pins) or a change reseeded existing runs — which breaks
+//! the append-only determinism contract and is a bug.
+
+use std::path::Path;
+
+use react_experiments::{expand, Manifest};
+
+fn quick_manifest_text() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweep_quick.toml");
+    std::fs::read_to_string(&path).expect("read examples/sweep_quick.toml")
+}
+
+/// The full grid, odometer order (last axis fastest): every label with
+/// its derived seed.
+const GOLDEN: &[(&str, u64)] = &[
+    (
+        "pool=40,matcher=react,cycles=200,faults=none",
+        0x3c3efead798711b4,
+    ),
+    (
+        "pool=40,matcher=react,cycles=200,faults=chaos(0.5)",
+        0xa8b0035b13093f32,
+    ),
+    (
+        "pool=40,matcher=react,cycles=1000,faults=none",
+        0xce3f3613a4a04d24,
+    ),
+    (
+        "pool=40,matcher=react,cycles=1000,faults=chaos(0.5)",
+        0xb5efbba3cb8edbd0,
+    ),
+    (
+        "pool=40,matcher=greedy,cycles=200,faults=none",
+        0x0cde007c85a96034,
+    ),
+    (
+        "pool=40,matcher=greedy,cycles=200,faults=chaos(0.5)",
+        0xd35eb2f3c9403987,
+    ),
+    (
+        "pool=40,matcher=greedy,cycles=1000,faults=none",
+        0xe26cb124a208d873,
+    ),
+    (
+        "pool=40,matcher=greedy,cycles=1000,faults=chaos(0.5)",
+        0x934b2f1ae52884fc,
+    ),
+    (
+        "pool=40,matcher=traditional,cycles=200,faults=none",
+        0x25f2748ce8354c8b,
+    ),
+    (
+        "pool=40,matcher=traditional,cycles=200,faults=chaos(0.5)",
+        0x94b5cd9545f8c3d2,
+    ),
+    (
+        "pool=40,matcher=traditional,cycles=1000,faults=none",
+        0x03aa3f0dabcfc8e7,
+    ),
+    (
+        "pool=40,matcher=traditional,cycles=1000,faults=chaos(0.5)",
+        0xe93997f2cf42ec07,
+    ),
+    (
+        "pool=80,matcher=react,cycles=200,faults=none",
+        0x8098440f185e32c1,
+    ),
+    (
+        "pool=80,matcher=react,cycles=200,faults=chaos(0.5)",
+        0x31f9c05630a9fb3e,
+    ),
+    (
+        "pool=80,matcher=react,cycles=1000,faults=none",
+        0x0746ad0e1c1d2165,
+    ),
+    (
+        "pool=80,matcher=react,cycles=1000,faults=chaos(0.5)",
+        0x5ce8f34e799fd93c,
+    ),
+    (
+        "pool=80,matcher=greedy,cycles=200,faults=none",
+        0xdca3ac56b65d69fe,
+    ),
+    (
+        "pool=80,matcher=greedy,cycles=200,faults=chaos(0.5)",
+        0x8d7bea172ecfc347,
+    ),
+    (
+        "pool=80,matcher=greedy,cycles=1000,faults=none",
+        0x36892b9bd37fe8ac,
+    ),
+    (
+        "pool=80,matcher=greedy,cycles=1000,faults=chaos(0.5)",
+        0x6d546a0ae3757a15,
+    ),
+    (
+        "pool=80,matcher=traditional,cycles=200,faults=none",
+        0x6b15543374b92b79,
+    ),
+    (
+        "pool=80,matcher=traditional,cycles=200,faults=chaos(0.5)",
+        0xd6f5b95a54aea38a,
+    ),
+    (
+        "pool=80,matcher=traditional,cycles=1000,faults=none",
+        0x72db0eb3bb2846ed,
+    ),
+    (
+        "pool=80,matcher=traditional,cycles=1000,faults=chaos(0.5)",
+        0x0e4ef12e71469b2e,
+    ),
+];
+
+#[test]
+fn sweep_quick_expands_to_the_pinned_grid() {
+    let manifest = Manifest::parse(&quick_manifest_text()).expect("parse sweep_quick.toml");
+    assert_eq!(manifest.seed, 42);
+    assert_eq!(
+        manifest.permutations(),
+        24,
+        "ISSUE floor: ≥ 24 permutations"
+    );
+    let specs = expand(&manifest, "scenario", false);
+    assert_eq!(specs.len(), GOLDEN.len());
+    for (i, (spec, (label, seed))) in specs.iter().zip(GOLDEN).enumerate() {
+        assert_eq!(spec.index, i);
+        assert_eq!(&spec.label, label, "run {i} label");
+        assert_eq!(spec.seed, *seed, "run {i} ({label}) was reseeded");
+        assert_eq!(&spec.suite, "scenario");
+    }
+    // The all-defaults cell elides every coordinate from its seed key.
+    assert_eq!(specs[0].seed_key, "");
+}
+
+#[test]
+fn appending_an_axis_value_never_reseeds_existing_runs() {
+    let grown = quick_manifest_text().replace("pool = [40, 80]", "pool = [40, 80, 160]");
+    let manifest = Manifest::parse(&grown).expect("parse grown manifest");
+    let specs = expand(&manifest, "scenario", false);
+    assert_eq!(specs.len(), 36);
+    // The original 24 cells keep their exact seeds (they now sit at
+    // different indices, so match by label).
+    for (label, seed) in GOLDEN {
+        let spec = specs
+            .iter()
+            .find(|s| &s.label == label)
+            .unwrap_or_else(|| panic!("cell {label} vanished"));
+        assert_eq!(spec.seed, *seed, "cell {label} was reseeded by axis growth");
+    }
+}
+
+#[test]
+fn adding_a_whole_new_axis_never_reseeds_existing_runs() {
+    let grown = format!("{}shards = [1, 2]\n", quick_manifest_text());
+    let manifest = Manifest::parse(&grown).expect("parse grown manifest");
+    let specs = expand(&manifest, "scenario", false);
+    assert_eq!(specs.len(), 48);
+    // shards=1 (the new axis default) cells are the original grid.
+    for (label, seed) in GOLDEN {
+        let grown_label = format!("{label},shards=1");
+        let spec = specs
+            .iter()
+            .find(|s| s.label == grown_label)
+            .unwrap_or_else(|| panic!("cell {grown_label} vanished"));
+        assert_eq!(spec.seed, *seed, "cell {label} was reseeded by a new axis");
+    }
+}

@@ -13,6 +13,8 @@
 pub mod bridge;
 pub mod chart;
 pub mod csv;
+pub mod kpi;
+pub mod provenance;
 pub mod registry;
 pub mod series;
 pub mod table;
@@ -20,6 +22,8 @@ pub mod table;
 pub use bridge::MetricsObserver;
 pub use chart::{ascii_chart, ChartSeries};
 pub use csv::write_csv;
+pub use kpi::{KpiReport, KpiRow, KpiValue};
+pub use provenance::{fnv1a64, git_revision, write_stamped, ArtifactOutcome, Provenance};
 pub use registry::MetricsRegistry;
 pub use series::TimeSeries;
 pub use table::Table;

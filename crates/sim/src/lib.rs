@@ -26,5 +26,5 @@ pub mod time;
 
 pub use engine::Simulator;
 pub use event::EventQueue;
-pub use rng::RngStreams;
+pub use rng::{splitmix64, RngStreams};
 pub use time::{SimDuration, SimTime};
