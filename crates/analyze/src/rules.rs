@@ -83,10 +83,18 @@ pub enum Rule {
     /// new event kind cannot ship without a legality rule for replay
     /// verification.
     AuditEventExhaustiveness,
+    /// No raw sockets (`std::net`, `TcpListener`, `TcpStream`,
+    /// `UdpSocket`) outside the sanctioned wire boundary: the ingest
+    /// front-end (`crates/runtime/src/ingest/`) and its load-generator
+    /// counterpart (`crates/load/src/`). Network reads anywhere else
+    /// would smuggle non-determinism (peer timing, kernel buffering)
+    /// into code the replay guarantee covers. Test trees stay exempt —
+    /// golden wire tests drive the boundary from outside.
+    NetBoundary,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::NoWallClock,
     Rule::NoAmbientRng,
     Rule::NoPanicInLib,
@@ -97,6 +105,7 @@ pub const ALL_RULES: [Rule; 10] = [
     Rule::RngStreamDiscipline,
     Rule::ObsCatalog,
     Rule::AuditEventExhaustiveness,
+    Rule::NetBoundary,
 ];
 
 /// Whether `path` (workspace-relative, forward slashes) is a test-only
@@ -123,6 +132,7 @@ impl Rule {
             Rule::RngStreamDiscipline => "rng-stream-discipline",
             Rule::ObsCatalog => "obs-catalog",
             Rule::AuditEventExhaustiveness => "audit-event-exhaustiveness",
+            Rule::NetBoundary => "net-boundary",
         }
     }
 
@@ -210,6 +220,15 @@ impl Rule {
                  `crates/core/src/events.rs` — both the states it is legal from and the \
                  state it moves the task to.",
             ),
+            Rule::NetBoundary => (
+                "Raw sockets (`std::net`, `TcpListener`/`TcpStream`/`UdpSocket`) outside \
+                 the sanctioned wire boundary smuggle peer timing and kernel buffering \
+                 into code covered by the bit-identical-replay guarantee.",
+                "Keep socket I/O inside `crates/runtime/src/ingest/` (the door) or \
+                 `crates/load/src/` (the generator); everything else exchanges messages \
+                 over channels. Test trees may open sockets to drive the boundary from \
+                 outside.",
+            ),
         }
     }
 
@@ -257,6 +276,10 @@ impl Rule {
             // The transition table lives in one file; violations are
             // reported at the variant declarations there.
             Rule::AuditEventExhaustiveness => path == "crates/core/src/events.rs",
+            Rule::NetBoundary => {
+                !path.starts_with("crates/runtime/src/ingest/")
+                    && !path.starts_with("crates/load/src/")
+            }
         }
     }
 
@@ -394,6 +417,7 @@ impl ScannedFile {
             Rule::NoPanicInLib,
             Rule::NoFloatEq,
             Rule::NoSleepInTests,
+            Rule::NetBoundary,
         ] {
             if !rule.applies_to(&self.path) {
                 continue;
@@ -475,6 +499,12 @@ fn line_matches(rule: Rule, code: &str) -> bool {
             // `clock.to_wall(...)` is the sanctioned ScaledClock
             // conversion; a sleep through it scales with the test clock.
             code.contains("thread::sleep") && !code.contains("to_wall(")
+        }
+        Rule::NetBoundary => {
+            code.contains("std::net")
+                || code.contains("TcpListener")
+                || code.contains("TcpStream")
+                || code.contains("UdpSocket")
         }
         // Symbol-aware rules run from `crate::symbols`, not per line.
         Rule::UnorderedHashIter
@@ -1025,6 +1055,34 @@ fn f() {
         assert!(scan("tests/end_to_end.rs", src).is_empty());
         assert!(scan("crates/bench/benches/fig3.rs", src).is_empty());
         assert!(scan("examples/quickstart.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sockets_flagged_outside_the_wire_boundary() {
+        let src = "fn f() { let l = std::net::TcpListener::bind(addr); }\n";
+        // Scheduling-visible code: flagged once per offending line.
+        let v = scan("crates/core/src/server.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NetBoundary);
+        // The sanctioned boundary on both sides of the wire is exempt.
+        assert!(scan("crates/runtime/src/ingest/server.rs", src).is_empty());
+        assert!(scan("crates/load/src/client.rs", src).is_empty());
+        // But the rest of the runtime crate is not.
+        let v = scan("crates/runtime/src/runtime.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NetBoundary);
+        // Test trees drive the boundary from outside — exempt.
+        assert!(scan("tests/wire_protocol.rs", src).is_empty());
+        // All the socket tokens are covered.
+        for token in ["TcpStream::connect(a)", "UdpSocket::bind(a)"] {
+            let src = format!("fn f() {{ let s = {token}; }}\n");
+            let v = scan("crates/crowd/src/runner.rs", &src);
+            assert_eq!(v.len(), 1, "{token} must be flagged");
+        }
+        // Allow markers still work.
+        let allowed = "fn f() { let s = TcpStream::connect(a); } \
+// analyze: allow(net-boundary) health probe\n";
+        assert!(scan("crates/cluster/src/router.rs", allowed).is_empty());
     }
 
     #[test]

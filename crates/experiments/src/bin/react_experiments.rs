@@ -33,6 +33,7 @@ COMMANDS:
     ablation                the eleven design-choice ablations
     chaos                   fault-injection chaos sweep
     cluster                 sharded cluster-mode scaling
+    load                    open-loop TCP replay through the ingest door
 
 FLAGS:
     --quick        reduced sizes (seconds instead of minutes)

@@ -21,6 +21,7 @@
 pub mod executor;
 pub mod experiment;
 pub mod legacy;
+pub mod load;
 pub mod manifest;
 pub mod scenario;
 pub mod spec;
@@ -28,6 +29,7 @@ pub mod sweep;
 
 pub use executor::run_indexed;
 pub use experiment::{ExpandCtx, Experiment};
+pub use load::LoadSuite;
 pub use manifest::{Manifest, ManifestError, ManifestValue};
 pub use scenario::ScenarioSweep;
 pub use spec::{derive_seed, expand, RunSpec};

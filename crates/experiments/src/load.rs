@@ -1,0 +1,271 @@
+//! The `load` suite: open-loop TCP replay through the live ingest door.
+//!
+//! Unlike the sim-time suites this one exercises the real wire
+//! boundary — `react-load` self-hosts an
+//! [`react_runtime::IngestRuntime`](../../runtime), replays a seeded
+//! arrival trace over sockets and reports sustained throughput,
+//! p50/p99/p999 assignment latency and the door shed rate into
+//! `BENCH_load.json`.
+//!
+//! Manifest-driven when axes are given (`shape`, plus the `rate` /
+//! `tasks` / `scale` / `workers` knobs); otherwise it expands to its
+//! intrinsic two-cell list: one Poisson cell and one bursty cell.
+//! Wall-clock suite → `parallel_safe() == false`.
+
+use react_bench::report::OutputSink;
+use react_load::{LoadParams, LoadRunReport, Shape};
+use react_metrics::KpiRow;
+use std::sync::Mutex;
+
+use crate::experiment::{ExpandCtx, Experiment};
+use crate::spec::{derive_seed, expand, RunSpec};
+
+/// The load suite (see module docs).
+pub struct LoadSuite {
+    sink: OutputSink,
+    /// Reports collected across this sweep's cells; the artifact is
+    /// written once, when the last expected cell lands (cells run
+    /// serially — the suite is not parallel-safe).
+    collected: Mutex<Vec<LoadRunReport>>,
+    expected: Mutex<usize>,
+}
+
+impl LoadSuite {
+    /// Creates the suite against the shared output sink.
+    pub fn new(sink: OutputSink) -> Self {
+        LoadSuite {
+            sink,
+            collected: Mutex::new(Vec::new()),
+            expected: Mutex::new(0),
+        }
+    }
+}
+
+/// Resolves one spec's [`LoadParams`] (quick/default base + overrides).
+fn build_params(spec: &RunSpec) -> Result<LoadParams, String> {
+    let mut params = if spec.quick {
+        LoadParams::quick()
+    } else {
+        LoadParams::default()
+    };
+    params.seed = spec.seed;
+    if let Some(shape) = spec.str_param("shape") {
+        params.shape = Shape::parse(shape).ok_or_else(|| format!("unknown shape `{shape}`"))?;
+    }
+    if let Some(rate) = spec.f64_param("rate") {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(format!("rate must be positive, got {rate}"));
+        }
+        params.rate = rate;
+    }
+    if let Some(tasks) = spec.usize_param("tasks") {
+        params.tasks = tasks;
+    }
+    if let Some(scale) = spec.f64_param("scale") {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(format!("scale must be positive, got {scale}"));
+        }
+        params.time_scale = scale;
+    }
+    if let Some(workers) = spec.usize_param("workers") {
+        params.n_workers = workers;
+    }
+    if let Some(queue) = spec.usize_param("queue") {
+        params.queue_capacity = queue;
+    }
+    if let Some(watermark) = spec.usize_param("watermark") {
+        params.backlog_watermark = watermark;
+    }
+    Ok(params)
+}
+
+impl Experiment for LoadSuite {
+    fn name(&self) -> &'static str {
+        "load"
+    }
+
+    fn title(&self) -> &'static str {
+        "Load — open-loop TCP replay through the ingest door (BENCH_load.json)"
+    }
+
+    fn expand(&self, ctx: &ExpandCtx) -> Result<Vec<RunSpec>, String> {
+        let specs = match ctx.manifest {
+            Some(manifest) if !manifest.axes.is_empty() => expand(manifest, self.name(), ctx.quick),
+            _ => {
+                // Intrinsic two-cell list: Poisson, then bursty.
+                ["poisson", "burst"]
+                    .iter()
+                    .enumerate()
+                    .map(|(index, shape)| {
+                        let seed_key = if index == 0 {
+                            String::new()
+                        } else {
+                            format!("shape={shape}")
+                        };
+                        RunSpec {
+                            suite: self.name().to_string(),
+                            index,
+                            label: format!("shape={shape}"),
+                            seed: if index == 0 {
+                                ctx.seed
+                            } else {
+                                derive_seed(ctx.seed, self.name(), &seed_key)
+                            },
+                            seed_key,
+                            params: vec![(
+                                "shape".to_string(),
+                                crate::manifest::ManifestValue::Str(shape.to_string()),
+                            )],
+                            quick: ctx.quick,
+                        }
+                    })
+                    .collect()
+            }
+        };
+        // Validate every cell eagerly — a sweep must fail before its
+        // first run, not in the middle of a fan-out.
+        for spec in &specs {
+            build_params(spec).map_err(|e| format!("run '{}': {e}", spec.label))?;
+        }
+        *self.expected.lock().expect("expected count lock") = specs.len();
+        self.collected.lock().expect("collected lock").clear();
+        Ok(specs)
+    }
+
+    fn run(&self, spec: &RunSpec) -> Result<Vec<KpiRow>, String> {
+        let params = build_params(spec)?;
+        let report = react_load::run(&params)
+            .map_err(|e| format!("load run '{}' failed: {e}", spec.label))?;
+        println!("{}", react_load::render(std::slice::from_ref(&report)));
+        if !report.conserved {
+            return Err(format!(
+                "run '{}' violated the conservation identity",
+                spec.label
+            ));
+        }
+        let rows = react_load::kpi_rows(std::slice::from_ref(&report));
+        let mut collected = self.collected.lock().expect("collected lock");
+        collected.push(report);
+        // Last expected cell: write the aggregated artifact once.
+        if collected.len() == *self.expected.lock().expect("expected count lock") {
+            let path = react_load::default_json_path();
+            let provenance = self
+                .sink
+                .provenance()
+                .cloned()
+                .unwrap_or_else(|| react_metrics::Provenance::new(spec.seed));
+            match react_load::write_json_stamped(&collected, &path, &provenance) {
+                Ok(_) => println!("# JSON → {}", path.display()),
+                Err(e) => eprintln!("# failed to write {}: {e}", path.display()),
+            }
+        }
+        Ok(rows)
+    }
+
+    fn parallel_safe(&self) -> bool {
+        false
+    }
+
+    fn table_columns(&self) -> Option<Vec<&'static str>> {
+        Some(vec![
+            "suite",
+            "run",
+            "offered",
+            "accepted",
+            "shed_door",
+            "offered_per_hour",
+            "p50_assign",
+            "p99_assign",
+            "p999_assign",
+            "shed_rate",
+            "conserved",
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+
+    fn ctx(seed: u64) -> ExpandCtx<'static> {
+        ExpandCtx {
+            quick: true,
+            seed,
+            manifest: None,
+        }
+    }
+
+    #[test]
+    fn intrinsic_expansion_is_poisson_then_burst() {
+        let suite = LoadSuite::new(OutputSink::discard());
+        let specs = suite.expand(&ctx(99)).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].label, "shape=poisson");
+        assert_eq!(specs[1].label, "shape=burst");
+        assert_eq!(specs[0].seed, 99, "default cell takes the base seed");
+        assert_ne!(specs[1].seed, 99, "burst cell derives its own seed");
+        assert!(specs.iter().all(|s| s.quick));
+        assert!(!suite.parallel_safe(), "wall-clock suite must be pinned");
+    }
+
+    #[test]
+    fn manifest_axes_drive_expansion_and_knobs_flow_through() {
+        let manifest = Manifest::parse(
+            "[sweep]\nname = \"load-test\"\nseed = 7\nsuites = [\"load\"]\n\
+             tasks = 500\nscale = 120\n\
+             [axes]\nshape = [\"poisson\", \"burst\"]\nrate = [4.0, 9.375]\n",
+        )
+        .unwrap();
+        let suite = LoadSuite::new(OutputSink::discard());
+        let specs = suite
+            .expand(&ExpandCtx {
+                quick: true,
+                seed: manifest.seed,
+                manifest: Some(&manifest),
+            })
+            .unwrap();
+        assert_eq!(specs.len(), 4);
+        let params = build_params(&specs[0]).unwrap();
+        assert_eq!(params.tasks, 500);
+        assert!((params.time_scale - 120.0).abs() < 1e-12);
+        assert!((params.rate - 4.0).abs() < 1e-12);
+        assert_eq!(params.shape, Shape::Poisson);
+    }
+
+    #[test]
+    fn unknown_shape_fails_at_expand_time() {
+        let manifest = Manifest::parse(
+            "[sweep]\nname = \"bad\"\nsuites = [\"load\"]\n\
+             [axes]\nshape = [\"sawtooth\"]\n",
+        )
+        .unwrap();
+        let suite = LoadSuite::new(OutputSink::discard());
+        let err = suite
+            .expand(&ExpandCtx {
+                quick: true,
+                seed: 1,
+                manifest: Some(&manifest),
+            })
+            .unwrap_err();
+        assert!(err.contains("unknown shape"), "{err}");
+    }
+
+    #[test]
+    fn bad_rate_fails_at_expand_time() {
+        let manifest = Manifest::parse(
+            "[sweep]\nname = \"bad\"\nsuites = [\"load\"]\n\
+             [axes]\nrate = [-2.0]\n",
+        )
+        .unwrap();
+        let suite = LoadSuite::new(OutputSink::discard());
+        let err = suite
+            .expand(&ExpandCtx {
+                quick: true,
+                seed: 1,
+                manifest: Some(&manifest),
+            })
+            .unwrap_err();
+        assert!(err.contains("rate must be positive"), "{err}");
+    }
+}

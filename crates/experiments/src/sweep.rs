@@ -22,6 +22,7 @@ use react_metrics::{write_stamped, ArtifactOutcome, KpiReport, KpiRow, Provenanc
 use crate::executor::run_indexed;
 use crate::experiment::{ExpandCtx, Experiment};
 use crate::legacy::legacy_suites;
+use crate::load::LoadSuite;
 use crate::manifest::Manifest;
 use crate::scenario::ScenarioSweep;
 
@@ -65,11 +66,13 @@ pub struct SweepOutcome {
     pub tables: Vec<String>,
 }
 
-/// Every registered suite: the manifest-driven `scenario` sweep plus the
-/// nine legacy figure suites, sharing one output sink.
+/// Every registered suite: the manifest-driven `scenario` sweep, the
+/// nine legacy figure suites and the live-ingest `load` suite, sharing
+/// one output sink.
 pub fn registry(sink: &OutputSink, observe: bool) -> Vec<Box<dyn Experiment>> {
     let mut suites: Vec<Box<dyn Experiment>> = vec![Box::new(ScenarioSweep)];
     suites.extend(legacy_suites(sink, observe));
+    suites.push(Box::new(LoadSuite::new(sink.clone())));
     suites
 }
 
@@ -87,6 +90,7 @@ pub fn suite(name: &str) -> Option<&'static str> {
         "chaos" => "chaos",
         "cluster" => "cluster",
         "scenario" => "scenario",
+        "load" => "load",
         _ => return None,
     })
 }
@@ -273,7 +277,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_lists_scenario_then_the_nine_legacy_suites() {
+    fn registry_lists_scenario_the_nine_legacy_suites_then_load() {
         let sink = OutputSink::discard();
         let names: Vec<&str> = registry(&sink, false).iter().map(|s| s.name()).collect();
         assert_eq!(
@@ -289,6 +293,7 @@ mod tests {
                 "ablation",
                 "chaos",
                 "cluster",
+                "load",
             ]
         );
     }

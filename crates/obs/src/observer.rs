@@ -29,6 +29,9 @@ pub enum SpanKind {
     RegionRun,
     /// One shard server's tick inside a `Cluster` control step.
     ShardTick,
+    /// One HTTP request handled by the ingest front-end (parse +
+    /// admission decision + response write).
+    IngestRequest,
 }
 
 impl SpanKind {
@@ -44,6 +47,7 @@ impl SpanKind {
             SpanKind::MatcherAssign => "matcher.assign",
             SpanKind::RegionRun => "region.run",
             SpanKind::ShardTick => "shard.tick",
+            SpanKind::IngestRequest => "ingest.request",
         }
     }
 }
@@ -116,6 +120,19 @@ pub enum CounterKind {
     /// Tasks refused at submission because the target shard's open-task
     /// count hit its hard admission cap.
     ShardAdmissionShed,
+    /// TCP connections accepted by the ingest front-end.
+    IngestConnections,
+    /// Task submissions admitted past the front door into the bounded
+    /// scheduler queue.
+    IngestAccepted,
+    /// Malformed requests refused with a 4xx status (bad framing, bad
+    /// method, oversized body).
+    IngestRejected,
+    /// Submissions shed at the door with `429 Too Many Requests`
+    /// (bounded queue full or scheduler backlog above the watermark).
+    IngestShed,
+    /// Status polls (`GET /tasks/<id>`) served.
+    IngestPolls,
 }
 
 impl CounterKind {
@@ -150,6 +167,11 @@ impl CounterKind {
             CounterKind::ShardHandoffs => "shard.handoffs",
             CounterKind::ShardWorkersRebalanced => "shard.workers_rebalanced",
             CounterKind::ShardAdmissionShed => "shard.admission_shed",
+            CounterKind::IngestConnections => "ingest.connections",
+            CounterKind::IngestAccepted => "ingest.accepted",
+            CounterKind::IngestRejected => "ingest.rejected",
+            CounterKind::IngestShed => "ingest.shed",
+            CounterKind::IngestPolls => "ingest.polls",
         }
     }
 }
@@ -163,6 +185,9 @@ pub enum HistogramKind {
     ExecSeconds,
     /// Number of unassigned tasks entering a matching batch.
     BatchSize,
+    /// Depth of the bounded ingest queue sampled at each scheduler tick
+    /// (tasks accepted but not yet submitted to the middleware).
+    IngestQueueDepth,
 }
 
 impl HistogramKind {
@@ -172,6 +197,7 @@ impl HistogramKind {
             HistogramKind::MatchingSeconds => "matching.seconds",
             HistogramKind::ExecSeconds => "exec.seconds",
             HistogramKind::BatchSize => "batch.size",
+            HistogramKind::IngestQueueDepth => "ingest.queue_depth",
         }
     }
 }
@@ -256,6 +282,7 @@ mod tests {
             SpanKind::MatcherAssign,
             SpanKind::RegionRun,
             SpanKind::ShardTick,
+            SpanKind::IngestRequest,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for s in spans {
@@ -290,6 +317,11 @@ mod tests {
             CounterKind::ShardHandoffs,
             CounterKind::ShardWorkersRebalanced,
             CounterKind::ShardAdmissionShed,
+            CounterKind::IngestConnections,
+            CounterKind::IngestAccepted,
+            CounterKind::IngestRejected,
+            CounterKind::IngestShed,
+            CounterKind::IngestPolls,
         ];
         for c in counters {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
@@ -297,6 +329,24 @@ mod tests {
                 c.name().contains('.'),
                 "counter name not dotted: {}",
                 c.name()
+            );
+        }
+        let histograms = [
+            HistogramKind::MatchingSeconds,
+            HistogramKind::ExecSeconds,
+            HistogramKind::BatchSize,
+            HistogramKind::IngestQueueDepth,
+        ];
+        for h in histograms {
+            assert!(
+                seen.insert(h.name()),
+                "duplicate histogram name {}",
+                h.name()
+            );
+            assert!(
+                h.name().contains('.'),
+                "histogram name not dotted: {}",
+                h.name()
             );
         }
     }

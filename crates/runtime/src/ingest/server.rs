@@ -1,0 +1,388 @@
+//! The TCP acceptor side of the ingest front-end.
+//!
+//! Acceptor threads share one `TcpListener`; each serves its
+//! connection's requests in order (keep-alive) and applies the
+//! admission-control ladder to `POST /tasks`:
+//!
+//! 1. **Framing** — malformed requests are answered with 4xx and
+//!    counted as rejected; the connection closes when framing is no
+//!    longer trustworthy.
+//! 2. **Watermark** — when the scheduler-published backlog exceeds the
+//!    configured watermark the submission is shed at the door with
+//!    `429 Too Many Requests` + `Retry-After` *before* any state is
+//!    allocated.
+//! 3. **Bounded queue** — otherwise the task is `try_send`-ed into the
+//!    bounded scheduler queue; a full queue sheds with 429 instead of
+//!    blocking the acceptor (backpressure never propagates into the
+//!    kernel accept queue as unbounded latency).
+//!
+//! Everything is instrumented through the `ingest.*` observer catalog.
+
+use super::http::{parse_request, parse_submit_body, Request, Response};
+use crate::clock::ScaledClock;
+use crossbeam::channel::{Sender, TrySendError};
+use parking_lot::Mutex;
+use react_core::{Task, TaskCategory, TaskId};
+use react_geo::GeoPoint;
+use react_obs::{CounterKind, ObserverHandle, SpanKind, SpanTimer};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where an ingested task currently stands, as reported to status
+/// polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Accepted at the door; waiting for the scheduler.
+    Queued,
+    /// Executing at a worker.
+    Assigned,
+    /// A worker returned a result.
+    Completed {
+        /// Whether the result arrived before the deadline.
+        met_deadline: bool,
+    },
+    /// The deadline passed before a result.
+    Expired,
+    /// Dropped by the scheduler's graceful-degradation ladder.
+    Shed,
+}
+
+impl TaskStatus {
+    /// Stable wire name for status-poll responses.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            TaskStatus::Queued => "queued",
+            TaskStatus::Assigned => "assigned",
+            TaskStatus::Completed { .. } => "completed",
+            TaskStatus::Expired => "expired",
+            TaskStatus::Shed => "shed",
+        }
+    }
+}
+
+/// Door-side counters, shared between acceptors and the scheduler.
+/// All relaxed: they are reporting totals, never scheduling inputs.
+#[derive(Debug, Default)]
+pub struct DoorStats {
+    /// `POST /tasks` requests received (parse succeeded or not).
+    pub offered: AtomicU64,
+    /// Submissions admitted into the bounded queue.
+    pub accepted: AtomicU64,
+    /// Submissions shed with 429 (watermark or full queue).
+    pub shed: AtomicU64,
+    /// Malformed requests answered 4xx/5xx.
+    pub rejected: AtomicU64,
+    /// Status polls served.
+    pub polls: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// A task accepted at the door, en route to the scheduler.
+#[derive(Debug, Clone)]
+pub struct IngestTask {
+    /// The fully built task.
+    pub task: Task,
+    /// Crowd-time instant the door accepted it (assignment-latency
+    /// base; includes any time spent queued behind the scheduler).
+    pub accepted_at: f64,
+}
+
+/// State shared between the acceptor threads and the scheduler thread.
+pub struct Shared {
+    /// The scaled clock all timestamps come from.
+    pub clock: ScaledClock,
+    /// Telemetry sink.
+    pub observer: ObserverHandle,
+    /// Set once teardown begins: submissions are answered 503.
+    pub draining: AtomicBool,
+    /// Scheduler-published backlog (bounded queue + unassigned pool),
+    /// refreshed every tick; the door sheds above the watermark.
+    pub backlog: AtomicUsize,
+    /// Backlog level above which the door sheds.
+    pub watermark: usize,
+    /// Next task id to allocate.
+    pub next_id: AtomicU64,
+    /// Door counters.
+    pub stats: DoorStats,
+    /// Per-task status table for `GET /tasks/<id>`.
+    pub statuses: Mutex<HashMap<u64, TaskStatus>>,
+    /// The bounded queue into the scheduler.
+    pub submit_tx: Sender<IngestTask>,
+    /// Default task location when the body gives none.
+    pub default_location: GeoPoint,
+    /// Default deadline (crowd seconds) when the body gives none.
+    pub default_deadline: f64,
+    /// Default reward when the body gives none.
+    pub default_reward: f64,
+}
+
+impl Shared {
+    /// Snapshot of a task's status, if the id is known.
+    pub fn status_of(&self, id: u64) -> Option<TaskStatus> {
+        self.statuses.lock().get(&id).copied()
+    }
+
+    /// Records a status transition.
+    pub fn set_status(&self, id: u64, status: TaskStatus) {
+        self.statuses.lock().insert(id, status);
+    }
+}
+
+/// Binds the listener and spawns `acceptors` acceptor threads.
+pub fn start_acceptors(
+    bind_addr: &str,
+    acceptors: usize,
+    idle_timeout: Duration,
+    shared: Arc<Shared>,
+) -> std::io::Result<(SocketAddr, Vec<JoinHandle<()>>)> {
+    let listener = TcpListener::bind(bind_addr)?;
+    let addr = listener.local_addr()?;
+    let mut handles = Vec::with_capacity(acceptors);
+    for i in 0..acceptors.max(1) {
+        let listener = listener.try_clone()?;
+        let shared = Arc::clone(&shared);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ingest-acceptor-{i}"))
+                .spawn(move || acceptor_loop(&listener, idle_timeout, &shared))
+                .expect("spawn acceptor thread"),
+        );
+    }
+    Ok((addr, handles))
+}
+
+/// Wakes `acceptors` threads blocked in `accept()` during teardown by
+/// handing each a throwaway connection.
+pub fn wake_acceptors(addr: SocketAddr, acceptors: usize) {
+    for _ in 0..acceptors.max(1) {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, idle_timeout: Duration, shared: &Shared) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // Teardown wake-up connection (or a late client): serve
+            // nothing, close immediately.
+            return;
+        }
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        if shared.observer.enabled() {
+            shared.observer.incr(CounterKind::IngestConnections, 1);
+        }
+        serve_connection(stream, idle_timeout, shared);
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or teardown.
+fn serve_connection(stream: TcpStream, idle_timeout: Duration, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let timer = SpanTimer::start();
+        let request = match parse_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(err) => {
+                shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                if shared.observer.enabled() {
+                    shared.observer.incr(CounterKind::IngestRejected, 1);
+                }
+                if let Some((status, reason)) = err.status() {
+                    let body = format!("{{\"error\":\"{}\"}}", reason.to_ascii_lowercase());
+                    let _ = Response::json(status, reason, body)
+                        .closing()
+                        .write_to(&mut writer);
+                }
+                // Framing is no longer trustworthy: close.
+                return;
+            }
+        };
+        let client_close = request.close;
+        let response = route(&request, shared);
+        let close = response.close || client_close;
+        let ok = response.write_to(&mut writer).is_ok();
+        timer.finish(shared.observer.as_ref(), SpanKind::IngestRequest);
+        if !ok || close || shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Dispatches one well-framed request to its endpoint.
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/tasks") => submit(request, shared),
+        ("GET", "/report") => report(shared),
+        ("GET", path) if path.starts_with("/tasks/") => poll(&path["/tasks/".len()..], shared),
+        ("GET", "/tasks") | ("POST", _) | ("GET", _) => {
+            count_rejected(shared);
+            Response::json(404, "Not Found", "{\"error\":\"not found\"}")
+        }
+        _ => {
+            count_rejected(shared);
+            Response::json(
+                405,
+                "Method Not Allowed",
+                "{\"error\":\"method not allowed\"}",
+            )
+        }
+    }
+}
+
+fn count_rejected(shared: &Shared) {
+    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+    if shared.observer.enabled() {
+        shared.observer.incr(CounterKind::IngestRejected, 1);
+    }
+}
+
+fn shed_response(shared: &Shared) -> Response {
+    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+    if shared.observer.enabled() {
+        shared.observer.incr(CounterKind::IngestShed, 1);
+    }
+    Response::json(429, "Too Many Requests", "{\"state\":\"shed\"}").with_retry_after(1)
+}
+
+/// `POST /tasks`: the admission-control ladder.
+fn submit(request: &Request, shared: &Shared) -> Response {
+    shared.stats.offered.fetch_add(1, Ordering::Relaxed);
+    if shared.draining.load(Ordering::SeqCst) {
+        count_rejected(shared);
+        return Response::json(503, "Service Unavailable", "{\"state\":\"draining\"}").closing();
+    }
+    // Rung 2: shed at the door while the scheduler lags, before
+    // allocating any per-task state.
+    if shared.backlog.load(Ordering::Relaxed) > shared.watermark {
+        return shed_response(shared);
+    }
+    // Rung 1 (body validation) — framing already passed.
+    let Some(body) = parse_submit_body(&request.body) else {
+        count_rejected(shared);
+        return Response::json(400, "Bad Request", "{\"error\":\"bad body\"}");
+    };
+    let deadline = body.deadline.unwrap_or(shared.default_deadline);
+    let reward = body.reward.unwrap_or(shared.default_reward);
+    if !(deadline.is_finite() && deadline > 0.0 && reward.is_finite() && reward >= 0.0) {
+        count_rejected(shared);
+        return Response::json(400, "Bad Request", "{\"error\":\"bad deadline or reward\"}");
+    }
+    let location = match (body.lat, body.lon) {
+        (Some(lat), Some(lon))
+            if (-90.0..=90.0).contains(&lat) && (-180.0..=180.0).contains(&lon) =>
+        {
+            GeoPoint::new(lat, lon)
+        }
+        (None, None) => shared.default_location,
+        _ => {
+            count_rejected(shared);
+            return Response::json(400, "Bad Request", "{\"error\":\"bad location\"}");
+        }
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let task = Task::new(
+        TaskId(id),
+        location,
+        deadline,
+        reward,
+        TaskCategory(body.category.unwrap_or(0)),
+        "ingest",
+    );
+    shared.set_status(id, TaskStatus::Queued);
+    // Rung 3: the bounded queue. A full queue sheds instead of
+    // blocking the acceptor.
+    match shared.submit_tx.try_send(IngestTask {
+        task,
+        accepted_at: shared.clock.now(),
+    }) {
+        Ok(()) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            if shared.observer.enabled() {
+                shared.observer.incr(CounterKind::IngestAccepted, 1);
+            }
+            Response::json(
+                202,
+                "Accepted",
+                format!("{{\"task\":{id},\"state\":\"queued\"}}"),
+            )
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.statuses.lock().remove(&id);
+            shed_response(shared)
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.statuses.lock().remove(&id);
+            count_rejected(shared);
+            Response::json(503, "Service Unavailable", "{\"state\":\"draining\"}").closing()
+        }
+    }
+}
+
+/// `GET /tasks/<id>`: status poll.
+fn poll(id_text: &str, shared: &Shared) -> Response {
+    shared.stats.polls.fetch_add(1, Ordering::Relaxed);
+    if shared.observer.enabled() {
+        shared.observer.incr(CounterKind::IngestPolls, 1);
+    }
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::json(404, "Not Found", "{\"error\":\"bad task id\"}");
+    };
+    match shared.status_of(id) {
+        Some(status) => {
+            let met = match status {
+                TaskStatus::Completed { met_deadline } => {
+                    format!(",\"met_deadline\":{met_deadline}")
+                }
+                _ => String::new(),
+            };
+            Response::json(
+                200,
+                "OK",
+                format!(
+                    "{{\"task\":{id},\"state\":\"{}\"{met}}}",
+                    status.wire_name()
+                ),
+            )
+        }
+        None => Response::json(404, "Not Found", "{\"error\":\"unknown task\"}"),
+    }
+}
+
+/// `GET /report`: door-counter snapshot.
+fn report(shared: &Shared) -> Response {
+    let s = &shared.stats;
+    Response::json(
+        200,
+        "OK",
+        format!(
+            "{{\"offered\":{},\"accepted\":{},\"shed\":{},\"rejected\":{},\"polls\":{},\"connections\":{},\"backlog\":{},\"draining\":{}}}",
+            s.offered.load(Ordering::Relaxed),
+            s.accepted.load(Ordering::Relaxed),
+            s.shed.load(Ordering::Relaxed),
+            s.rejected.load(Ordering::Relaxed),
+            s.polls.load(Ordering::Relaxed),
+            s.connections.load(Ordering::Relaxed),
+            shared.backlog.load(Ordering::Relaxed),
+            shared.draining.load(Ordering::SeqCst),
+        ),
+    )
+}

@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod ingest;
 pub mod messages;
 pub mod runtime;
 pub mod worker_host;
 
 pub use clock::{ScaledClock, Stopwatch};
+pub use ingest::{IngestConfig, IngestHandle, IngestReport, IngestRuntime};
 pub use messages::{Completion, WorkerCommand};
 pub use runtime::{LiveConfig, LiveReport, LiveRuntime};

@@ -13,9 +13,62 @@
 
 use crate::clock::ScaledClock;
 use crate::messages::{Completion, WorkerCommand};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use react_core::{TaskId, WorkerId};
 use std::collections::VecDeque;
+
+/// What the post-service mailbox sweep decided about the finished task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Settle {
+    /// No countermanding command was pending: report the completion.
+    Report,
+    /// A recall for the finished task was already waiting: the
+    /// scheduler rerouted it, so the local result is stale.
+    Suppress,
+    /// Teardown was already underway: drop the completion and stop.
+    Stop,
+}
+
+/// Sweeps commands that raced with the end of the service time.
+///
+/// `recv_deadline` delivers queued commands before it reports a
+/// timeout, but a `Recall` or `Shutdown` can still arrive in the window
+/// between the timeout and the completion send. Before the wire-ingest
+/// front-end that race was invisible; with external teardown it left an
+/// orphaned `Completed` audit event for a task the scheduler had
+/// already recalled or sealed. Draining the mailbox non-blockingly
+/// right before reporting closes the window: a pending `Shutdown` (or a
+/// hung-up scheduler) stops the host without reporting, a pending
+/// recall of the finished task suppresses the stale result, and any
+/// other commands are applied exactly as the service-time loop would
+/// have.
+fn settle_after_service(
+    mailbox: &Receiver<WorkerCommand>,
+    queue: &mut VecDeque<(TaskId, f64)>,
+    task: TaskId,
+) -> Settle {
+    let mut settle = Settle::Report;
+    loop {
+        match mailbox.try_recv() {
+            Err(TryRecvError::Empty) => return settle,
+            Err(TryRecvError::Disconnected) | Ok(WorkerCommand::Shutdown) => return Settle::Stop,
+            Ok(WorkerCommand::Assign {
+                task: assigned,
+                exec_crowd_secs,
+            }) => {
+                if assigned != task && !queue.iter().any(|&(t, _)| t == assigned) {
+                    queue.push_back((assigned, exec_crowd_secs));
+                }
+            }
+            Ok(WorkerCommand::Recall { task: recalled }) => {
+                queue.retain(|&(t, _)| t != recalled);
+                if recalled == task {
+                    settle = Settle::Suppress;
+                }
+            }
+        }
+    }
+}
 
 /// Runs a worker host until [`WorkerCommand::Shutdown`] or the mailbox
 /// closes. `quality` is the worker's intrinsic positive-feedback
@@ -79,6 +132,11 @@ pub fn run_worker_host(
             }
         };
         if finished {
+            match settle_after_service(&mailbox, &mut queue, task) {
+                Settle::Stop => return,
+                Settle::Suppress => continue,
+                Settle::Report => {}
+            }
             verdict_counter += 1;
             let quality_ok = verdict(id, verdict_counter) < quality;
             // The scheduler hanging up mid-run is a normal shutdown
@@ -280,6 +338,101 @@ mod tests {
         );
         drop(cmd);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn settle_reports_when_no_command_raced_the_finish() {
+        let (_tx, rx) = unbounded::<WorkerCommand>();
+        let mut queue = VecDeque::new();
+        assert_eq!(
+            settle_after_service(&rx, &mut queue, TaskId(1)),
+            Settle::Report
+        );
+    }
+
+    #[test]
+    fn settle_suppresses_completion_when_recall_raced_the_finish() {
+        // Regression for the teardown race surfaced by the wire
+        // boundary: the scheduler recalls the task in the instant the
+        // service time runs out. The host must not report a completion
+        // for it — doing so produced a Completed audit event after the
+        // Recalled one.
+        let (tx, rx) = unbounded();
+        tx.send(WorkerCommand::Recall { task: TaskId(7) }).unwrap();
+        let mut queue = VecDeque::new();
+        assert_eq!(
+            settle_after_service(&rx, &mut queue, TaskId(7)),
+            Settle::Suppress
+        );
+        assert!(rx.is_empty(), "the raced recall must be consumed");
+    }
+
+    #[test]
+    fn settle_stops_without_reporting_when_shutdown_raced_the_finish() {
+        let (tx, rx) = unbounded();
+        tx.send(WorkerCommand::Shutdown).unwrap();
+        let mut queue = VecDeque::new();
+        assert_eq!(
+            settle_after_service(&rx, &mut queue, TaskId(7)),
+            Settle::Stop
+        );
+
+        // A hung-up scheduler is the same teardown signal.
+        let (tx2, rx2) = unbounded::<WorkerCommand>();
+        drop(tx2);
+        assert_eq!(
+            settle_after_service(&rx2, &mut queue, TaskId(7)),
+            Settle::Stop
+        );
+    }
+
+    #[test]
+    fn settle_applies_raced_assigns_and_unrelated_recalls() {
+        let (tx, rx) = unbounded();
+        tx.send(WorkerCommand::Assign {
+            task: TaskId(2),
+            exec_crowd_secs: 5.0,
+        })
+        .unwrap();
+        tx.send(WorkerCommand::Assign {
+            task: TaskId(3),
+            exec_crowd_secs: 6.0,
+        })
+        .unwrap();
+        tx.send(WorkerCommand::Recall { task: TaskId(3) }).unwrap();
+        let mut queue = VecDeque::new();
+        assert_eq!(
+            settle_after_service(&rx, &mut queue, TaskId(1)),
+            Settle::Report
+        );
+        assert_eq!(
+            queue.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![TaskId(2)]
+        );
+    }
+
+    #[test]
+    fn host_survives_shutdown_racing_a_completion_burst() {
+        // End-to-end variant of the settle tests: hammer a host with
+        // instant tasks while tearing it down. Whatever interleaving the
+        // scheduler's Shutdown lands in, no completion may arrive after
+        // the host exits, and the host must exit at all.
+        for round in 0u64..20 {
+            let (cmd, done, handle, _clock) = spawn_host(1.0);
+            for t in 0..5u64 {
+                cmd.send(WorkerCommand::Assign {
+                    task: TaskId(round * 10 + t),
+                    exec_crowd_secs: 0.0,
+                })
+                .unwrap();
+            }
+            cmd.send(WorkerCommand::Shutdown).unwrap();
+            handle.join().unwrap();
+            // Once the host has exited, the completion stream is sealed:
+            // draining it must terminate (sender dropped with the host).
+            let drained: Vec<Completion> = done.iter().collect();
+            assert!(drained.len() <= 5);
+        }
     }
 
     #[test]

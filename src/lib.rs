@@ -22,7 +22,10 @@
 //!   caps;
 //! * [`sim`] — the discrete-event kernel;
 //! * [`geo`] — regions, routing and distances;
-//! * [`runtime`] — the live threaded deployment;
+//! * [`runtime`] — the live threaded deployment, including the TCP
+//!   ingest front-end with admission control;
+//! * [`load`] — the seeded open-loop load generator that drives the
+//!   ingest door over real sockets;
 //! * [`metrics`] — counters, series, tables, CSV;
 //! * [`obs`] — structured observability: spans, counters, histograms
 //!   and the sinks that record or export them.
@@ -55,6 +58,7 @@ pub use react_core as core;
 pub use react_crowd as crowd;
 pub use react_faults as faults;
 pub use react_geo as geo;
+pub use react_load as load;
 pub use react_matching as matching;
 pub use react_metrics as metrics;
 pub use react_obs as obs;

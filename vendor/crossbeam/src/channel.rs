@@ -15,6 +15,38 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the message comes back.
+    Full(T),
+    /// Every receiver is gone; the message comes back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+
+    /// True when the failure was a full bounded channel.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`]: empty and disconnected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -126,6 +158,25 @@ impl<T> Sender<T> {
                     st = self.chan.not_full.wait(st).unwrap();
                 }
                 _ => break,
+            }
+        }
+        st.queue.push_back(msg);
+        drop(st);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Attempts to send `msg` without blocking: a full bounded channel
+    /// returns [`TrySendError::Full`] immediately, handing the message
+    /// back so the caller can shed it (admission control).
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.chan.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
             }
         }
         st.queue.push_back(msg);
@@ -370,6 +421,32 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_reports_disconnected_and_unbounded_never_fills() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        let err = tx.try_send(1000).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(err.into_inner(), 1000);
     }
 
     #[test]
